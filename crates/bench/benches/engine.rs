@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks of the simulator hot paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use simcore::{Engine, FlowSpec, FluidNet};
+
+/// Max-min reallocation with a realistic flow population (36 cores + NIC
+/// over henri's resource graph shape).
+fn bench_maxmin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxmin");
+    for &flows in &[8usize, 40, 128] {
+        group.bench_function(format!("reallocate_{}_flows", flows), |b| {
+            b.iter_batched(
+                || {
+                    let mut net = FluidNet::new();
+                    let resources: Vec<_> = (0..12)
+                        .map(|i| net.add_resource(format!("r{}", i), 45e9))
+                        .collect();
+                    for i in 0..flows {
+                        net.start_flow(FlowSpec {
+                            path: vec![
+                                resources[i % 12],
+                                resources[(i * 5 + 1) % 12],
+                            ],
+                            volume: 1e9,
+                            weight: 1.0,
+                            cap: if i % 3 == 0 { Some(12e9) } else { None },
+                            tag: i as u64,
+                        });
+                    }
+                    net
+                },
+                |mut net| {
+                    net.reallocate();
+                    net
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Full event-loop throughput: many short flows through one engine.
+fn bench_engine_events(c: &mut Criterion) {
+    c.bench_function("engine_1000_flow_events", |b| {
+        b.iter_batched(
+            || {
+                let mut e = Engine::new();
+                let r = e.add_resource("bus", 1e9);
+                for i in 0..1000u64 {
+                    e.start_flow(FlowSpec {
+                        path: vec![r],
+                        volume: 1e3 * (i + 1) as f64,
+                        weight: 1.0,
+                        cap: None,
+                        tag: i,
+                    });
+                }
+                e
+            },
+            |mut e| {
+                let mut n = 0;
+                while e.next().is_some() {
+                    n += 1;
+                }
+                n
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Simulated ping-pong rate (events per wall second).
+fn bench_pingpong(c: &mut Criterion) {
+    use freq::{Governor, UncorePolicy};
+    use mpisim::pingpong::{self, PingPongConfig};
+    use mpisim::Cluster;
+    use topology::{henri, Placement};
+
+    c.bench_function("sim_pingpong_20_reps", |b| {
+        b.iter_batched(
+            || {
+                Cluster::new(
+                    &henri(),
+                    Governor::Userspace(2.3),
+                    UncorePolicy::Fixed(2.4),
+                    Placement::fig4_default(),
+                )
+            },
+            |mut cluster| pingpong::run(&mut cluster, PingPongConfig::latency(20)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_maxmin, bench_engine_events, bench_pingpong
+}
+criterion_main!(benches);

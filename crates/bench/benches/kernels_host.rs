@@ -1,0 +1,83 @@
+//! Criterion benchmarks of the *real* host kernels backing the workload
+//! descriptors: STREAM TRIAD, the tunable-intensity TRIAD, blocked GEMM and
+//! the dense CG solver.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use simcore::Pcg32;
+
+fn bench_stream(c: &mut Criterion) {
+    let n = 1 << 18;
+    let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let b_arr: Vec<f64> = (0..n).map(|i| (i * 2) as f64).collect();
+    let mut out = vec![0.0; n];
+    let mut g = c.benchmark_group("host_stream");
+    g.throughput(Throughput::Bytes((n * 24) as u64));
+    g.bench_function("triad", |bch| {
+        bch.iter(|| kernels::stream::triad(&a, &b_arr, 3.0, &mut out))
+    });
+    g.bench_function("copy", |bch| {
+        bch.iter(|| kernels::stream::copy(&a, &mut out))
+    });
+    g.finish();
+}
+
+fn bench_tunable(c: &mut Criterion) {
+    let n = 1 << 14;
+    let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let b_arr: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+    let mut out = vec![0.0; n];
+    let mut g = c.benchmark_group("host_tunable_triad");
+    for cursor in [1u32, 12, 72] {
+        g.bench_function(format!("cursor_{}", cursor), |bch| {
+            bch.iter(|| kernels::tunable::triad_cursor(&a, &b_arr, 1.5, &mut out, cursor))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let n = 96;
+    let mut rng = Pcg32::new(3, 0);
+    let a: Vec<f64> = (0..n * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let b_arr: Vec<f64> = (0..n * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let mut g = c.benchmark_group("host_gemm");
+    g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+    g.bench_function("naive_96", |bch| {
+        bch.iter(|| {
+            let mut out = vec![0.0; n * n];
+            kernels::gemm::gemm_naive(n, n, n, &a, &b_arr, &mut out);
+            out
+        })
+    });
+    g.bench_function("blocked_96", |bch| {
+        bch.iter(|| {
+            let mut out = vec![0.0; n * n];
+            kernels::gemm::gemm_blocked(n, n, n, &a, &b_arr, &mut out, 32);
+            out
+        })
+    });
+    g.finish();
+}
+
+fn bench_cg(c: &mut Criterion) {
+    let n = 64;
+    let mut rng = Pcg32::new(5, 0);
+    let a = kernels::cg::random_spd(n, &mut rng);
+    let b_vec: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    c.bench_function("host_cg_solve_64", |bch| {
+        bch.iter(|| kernels::cg::solve(&a, &b_vec, 1e-8, 200))
+    });
+}
+
+fn bench_primes(c: &mut Criterion) {
+    c.bench_function("host_primes_20k", |bch| {
+        bch.iter(|| kernels::primes::count_primes(0, 20_000))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_stream, bench_tunable, bench_gemm, bench_cg, bench_primes
+}
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--quick] [--csv DIR] [--all | --fig N | --table 1]
+//! ```
+//!
+//! `--fig N` accepts 1–10 (all sub-figures of N are produced). Output is a
+//! textual report: simulated medians with first/last-decile bands, the
+//! paper's reference values as notes, and PASS/FAIL qualitative checks.
+
+use std::io::Write;
+
+use interference::experiments::{self, Fidelity};
+use interference::report::FigureData;
+
+fn usage() -> ! {
+    eprintln!("usage: repro [--quick] [--csv DIR] [--json FILE] [--all | --fig N | --table 1 | --ext]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fidelity = Fidelity::Full;
+    let mut csv_dir: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut select: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => fidelity = Fidelity::Quick,
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--all" => select = None,
+            "--ext" => select = Some("ext".into()),
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--fig" => {
+                i += 1;
+                let n = args.get(i).cloned().unwrap_or_else(|| usage());
+                select = Some(format!("fig{}", n));
+            }
+            "--table" => {
+                i += 1;
+                let n = args.get(i).cloned().unwrap_or_else(|| usage());
+                select = Some(format!("table{}", n));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {}", other);
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let figs: Vec<FigureData> = match select.as_deref() {
+        None => experiments::run_all(fidelity),
+        Some(sel) => run_selected(sel, fidelity),
+    };
+
+    let mut failed = 0;
+    for f in &figs {
+        print!("{}", f.render());
+        println!();
+        failed += f.checks.iter().filter(|c| !c.pass).count();
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = format!("{}/{}.csv", dir, f.id);
+            let mut file = std::fs::File::create(&path).expect("create csv");
+            file.write_all(f.to_csv().as_bytes()).expect("write csv");
+            println!("   (csv written to {})", path);
+        }
+    }
+    if let Some(path) = &json_path {
+        std::fs::write(path, interference::results::figures_to_json(&figs))
+            .expect("write json");
+        println!("(json written to {})", path);
+    }
+    let total: usize = figs.iter().map(|f| f.checks.len()).sum();
+    println!(
+        "== summary: {}/{} qualitative checks passed across {} figures/tables ==",
+        total - failed,
+        total,
+        figs.len()
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn run_selected(sel: &str, fidelity: Fidelity) -> Vec<FigureData> {
+    use experiments::*;
+    match sel {
+        "fig1" => fig1_frequency::run(fidelity),
+        "fig2" => vec![fig2_freq_dynamics::run(fidelity)],
+        "fig3" => fig3_avx::run(fidelity),
+        "fig4" => fig4_contention::run(fidelity),
+        "fig5" => fig5_placement::run(fidelity),
+        "fig6" => fig6_msgsize::run(fidelity),
+        "fig7" => fig7_intensity::run(fidelity),
+        "fig8" => vec![fig8_runtime_overhead::run(fidelity)],
+        "fig9" => vec![fig9_polling::run(fidelity)],
+        "fig10" => fig10_usecases::run(fidelity),
+        "table1" => vec![table1::run(fidelity)],
+        "ext" => run_extensions(fidelity),
+        other => {
+            eprintln!("unknown selection: {}", other);
+            usage();
+        }
+    }
+}

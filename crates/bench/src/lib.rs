@@ -1,0 +1,16 @@
+//! # bench — benchmark harness and figure reproduction
+//!
+//! * `src/bin/repro.rs` — the **reproduction binary**: regenerates the data
+//!   series behind every table and figure of the paper, prints them next to
+//!   the paper's reference values and evaluates the qualitative checks.
+//!   Run `cargo run --release -p bench --bin repro -- --all` (or
+//!   `--fig 4`, `--table 1`, `--quick`, `--csv DIR`).
+//! * `benches/engine.rs` — criterion micro-benchmarks of the simulator hot
+//!   paths (max-min reallocation, ping-pong event loop).
+//! * `benches/figures.rs` — criterion wrappers timing reduced versions of
+//!   each experiment driver end to end.
+//! * `benches/kernels_host.rs` — criterion benchmarks of the *real* host
+//!   kernels (STREAM TRIAD, tunable TRIAD, GEMM, CG).
+
+/// Re-export the experiment entry points used by the benches.
+pub use interference::experiments;

@@ -1,0 +1,189 @@
+//! Ablations of the interference model's own design choices (the
+//! DESIGN.md extensions): each ablation disables or sweeps one mechanism
+//! and shows which measured effect it is responsible for.
+//!
+//! * **congestion latency model** — without the congestion-dependent
+//!   control-path inflation, the Figure 4a latency curve goes flat: fluid
+//!   bandwidth sharing alone cannot explain small-message latency under
+//!   contention;
+//! * **package-idle penalty** — without it, latency is no longer *better*
+//!   beside computation (the §3.2/§3.3 counter-intuitive finding vanishes);
+//! * **NIC DMA arbitration weight** — the Figure 4b bandwidth floor is set
+//!   by how aggressively the NIC competes for the memory controller;
+//! * **registration cache** — reusing ping-pong buffers (as the paper does,
+//!   citing the pin-down cache) hides the rendezvous pinning cost.
+
+use kernels::stream::{workload, StreamKernel};
+use mpisim::pingpong::{self, PingPongConfig};
+use simcore::{JitterFamily, Series, Summary};
+use topology::{henri, MachineSpec, Placement};
+
+use crate::experiments::Fidelity;
+use crate::protocol::{self, ProtocolConfig};
+use crate::report::{Check, FigureData};
+
+/// Latency inflation at full STREAM occupancy for a machine variant.
+fn latency_inflation(machine: &MachineSpec, fidelity: Fidelity, seed: u64) -> f64 {
+    let w = workload(StreamKernel::Triad, 2_000_000, machine.near_numa(), 1);
+    let mut cfg = ProtocolConfig::new(machine.clone(), Some(w));
+    cfg.placement = Placement::fig4_default();
+    cfg.compute_cores = machine.core_count() as usize - 1;
+    cfg.pingpong = PingPongConfig::latency(fidelity.lat_reps());
+    cfg.reps = fidelity.reps();
+    cfg.seed = seed;
+    let r = protocol::run(&cfg);
+    Summary::of(&r.lat_together()).median / Summary::of(&r.lat_alone()).median
+}
+
+/// Bandwidth retained at full STREAM occupancy for a machine variant.
+fn bandwidth_retained(machine: &MachineSpec, fidelity: Fidelity, seed: u64) -> f64 {
+    let w = workload(StreamKernel::Triad, 2_000_000, machine.near_numa(), 1);
+    let mut cfg = ProtocolConfig::new(machine.clone(), Some(w));
+    cfg.placement = Placement::fig4_default();
+    cfg.compute_cores = machine.core_count() as usize - 1;
+    cfg.pingpong = PingPongConfig {
+        size: 64 << 20,
+        reps: fidelity.bw_reps(),
+        warmup: 1,
+        mtag: 11,
+    };
+    cfg.reps = fidelity.reps();
+    cfg.seed = seed;
+    let r = protocol::run(&cfg);
+    Summary::of(&r.bw_together()).median / Summary::of(&r.bw_alone()).median
+}
+
+/// Run all ablations.
+pub fn run(fidelity: Fidelity) -> FigureData {
+    let base = henri();
+
+    // 1. Congestion model off.
+    let mut no_congestion = base.clone();
+    no_congestion.congestion_gain = 0.0;
+    let infl_on = latency_inflation(&base, fidelity, 0xAB_1);
+    let infl_off = latency_inflation(&no_congestion, fidelity, 0xAB_1);
+
+    // 2. Idle penalty off: does "together beats alone" survive?
+    let mut no_idle = base.clone();
+    no_idle.idle_uncore_penalty_s = 0.0;
+    let delta_with = fig2_delta(&base, fidelity, 0xAB_2);
+    let delta_without = fig2_delta(&no_idle, fidelity, 0xAB_2);
+
+    // 3. NIC weight sweep.
+    let mut s_weight = Series::new("bandwidth retained vs NIC DMA weight");
+    let mut retained = Vec::new();
+    for (i, w) in [1.0f64, 2.0, 4.0, 8.0].into_iter().enumerate() {
+        let mut m = base.clone();
+        m.network.nic_dma_weight = w;
+        let r = bandwidth_retained(&m, fidelity, 0xAB_3 + i as u64);
+        s_weight.push(w, &[r]);
+        retained.push(r);
+    }
+
+    // 4. Registration cache: first vs reused buffer at 4 MiB.
+    let (first_us, cached_us) = registration_effect(&base);
+
+    let mut s_infl = Series::new("latency inflation: congestion model on/off");
+    s_infl.push(0.0, &[infl_off]);
+    s_infl.push(1.0, &[infl_on]);
+    let mut s_idle = Series::new("latency delta alone-together (us): idle penalty on/off");
+    s_idle.push(0.0, &[delta_without]);
+    s_idle.push(1.0, &[delta_with]);
+    let mut s_reg = Series::new("4 MiB send latency (us): first vs cached registration");
+    s_reg.push(0.0, &[first_us]);
+    s_reg.push(1.0, &[cached_us]);
+
+    let checks = vec![
+        Check::new(
+            "congestion model is what inflates small-message latency",
+            infl_on > 1.5 && infl_off < 1.2,
+            format!("inflation ×{:.2} with model vs ×{:.2} without", infl_on, infl_off),
+        ),
+        Check::new(
+            "idle penalty explains 'together beats alone'",
+            delta_with > 0.05 && delta_without.abs() < 0.05,
+            format!(
+                "alone-together delta {:.2} µs with penalty vs {:.2} µs without",
+                delta_with, delta_without
+            ),
+        ),
+        Check::new(
+            "NIC arbitration weight sets the bandwidth floor (monotone)",
+            retained.windows(2).all(|w| w[1] >= w[0] - 1e-9) && retained[3] > retained[0] * 1.5,
+            format!("retained fractions {:?}", retained),
+        ),
+        Check::new(
+            "registration cache hides the pinning cost on reuse",
+            first_us > cached_us * 1.2,
+            format!("first {:.0} µs vs cached {:.0} µs", first_us, cached_us),
+        ),
+    ];
+
+    FigureData {
+        id: "ablations",
+        title: "Model ablations: which mechanism produces which measured effect".into(),
+        xlabel: "variant",
+        ylabel: "ratio / us",
+        series: vec![s_infl, s_idle, s_weight, s_reg],
+        notes: vec![
+            "these are ablations of the simulator's design choices (DESIGN.md §6), not paper figures"
+                .into(),
+        ],
+        checks,
+    }
+}
+
+/// Latency-alone minus latency-together (µs) under the Fig 2 setup.
+fn fig2_delta(machine: &MachineSpec, fidelity: Fidelity, seed: u64) -> f64 {
+    let w = kernels::primes::workload(0, 30_000, 1);
+    let mut cfg = ProtocolConfig::new(machine.clone(), Some(w));
+    cfg.compute_cores = 20;
+    cfg.pingpong = PingPongConfig::latency(fidelity.lat_reps());
+    cfg.reps = fidelity.reps();
+    cfg.seed = seed;
+    let r = protocol::run(&cfg);
+    Summary::of(&r.lat_alone()).median - Summary::of(&r.lat_together()).median
+}
+
+/// First-use vs cached-buffer latency of a rendezvous-sized message, µs.
+fn registration_effect(machine: &MachineSpec) -> (f64, f64) {
+    let cfg = ProtocolConfig::new(machine.clone(), None);
+    let family = JitterFamily::new(0xAB_4);
+    let mut cluster = protocol::build_cluster(&cfg, &family, 0);
+    // warmup 0: the first measured rep pays registration.
+    let first = pingpong::run(
+        &mut cluster,
+        PingPongConfig {
+            size: 4 << 20,
+            reps: 1,
+            warmup: 0,
+            mtag: 12,
+        },
+    )
+    .median_latency_us();
+    let cached = pingpong::run(
+        &mut cluster,
+        PingPongConfig {
+            size: 4 << 20,
+            reps: 3,
+            warmup: 0,
+            mtag: 12,
+        },
+    )
+    .median_latency_us();
+    (first, cached)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablations_quick_pass_checks() {
+        let f = run(Fidelity::Quick);
+        for c in &f.checks {
+            assert!(c.pass, "{} — {}", c.name, c.detail);
+        }
+        assert_eq!(f.series.len(), 4);
+    }
+}

@@ -1,0 +1,205 @@
+//! Figure 5 — impact of communication-thread placement and data locality
+//! on the contention curves (§4.3).
+//!
+//! The four near/far combinations of {data, communication thread} relative
+//! to the NIC. Figure 4 is the (data near, thread far) case; this driver
+//! sweeps all four and checks the Table 1 qualitative summary:
+//!
+//! * thread near → latency rises *slightly*, early (from ~6 cores);
+//! * thread far → latency rises *highly*, late (from ~25 cores);
+//! * data near → bandwidth decreases *steadily*;
+//! * data far → bandwidth drops *abruptly*.
+
+use mpisim::pingpong::PingPongConfig;
+use topology::{henri, BindingPolicy, Placement};
+
+use crate::experiments::fig4_contention::sweep;
+use crate::experiments::Fidelity;
+use crate::paper;
+use crate::report::{Check, FigureData};
+
+/// Latency and bandwidth sweeps for one placement.
+pub struct PlacementResult {
+    /// Placement label.
+    pub label: &'static str,
+    /// Latency curves.
+    pub lat: crate::experiments::fig4_contention::ContentionSweep,
+    /// Bandwidth curves.
+    pub bw: crate::experiments::fig4_contention::ContentionSweep,
+}
+
+/// Run the four placements.
+pub fn run_placements(fidelity: Fidelity) -> Vec<PlacementResult> {
+    let machine = henri();
+    Placement::all_combinations()
+        .into_iter()
+        .map(|(label, placement)| {
+            let data = match placement.data {
+                BindingPolicy::NearNic => machine.near_numa(),
+                BindingPolicy::FarFromNic => machine.far_numa(),
+                BindingPolicy::Numa(n) => n,
+            };
+            let lat = sweep(
+                &machine,
+                placement,
+                data,
+                PingPongConfig::latency(fidelity.lat_reps()),
+                true,
+                fidelity,
+                0xF16_5A,
+            );
+            let bw = sweep(
+                &machine,
+                placement,
+                data,
+                PingPongConfig {
+                    size: 64 << 20,
+                    reps: fidelity.bw_reps(),
+                    warmup: 1,
+                    mtag: 3,
+                },
+                false,
+                fidelity,
+                0xF16_5B,
+            );
+            PlacementResult { label, lat, bw }
+        })
+        .collect()
+}
+
+/// Run Figure 5 (returns one `FigureData` for latency, one for bandwidth).
+pub fn run(fidelity: Fidelity) -> Vec<FigureData> {
+    let results = run_placements(fidelity);
+
+    // Index by (data, thread): 0 near/near, 1 near/far, 2 far/near, 3 far/far.
+    let lat_full: Vec<f64> = results
+        .iter()
+        .map(|r| r.lat.comm_together.points.last().expect("points").y.median)
+        .collect();
+    let lat_base: Vec<f64> = results
+        .iter()
+        .map(|r| r.lat.comm_alone.points[0].y.median)
+        .collect();
+    let bw_full: Vec<f64> = results
+        .iter()
+        .map(|r| r.bw.comm_together.points.last().expect("points").y.median)
+        .collect();
+    let bw_base: Vec<f64> = results
+        .iter()
+        .map(|r| r.bw.comm_alone.points[0].y.median)
+        .collect();
+
+    // Thread near (rows 0, 2) vs far (rows 1, 3).
+    let near_infl = (lat_full[0] / lat_base[0]).max(lat_full[2] / lat_base[2]);
+    let far_infl = (lat_full[1] / lat_base[1]).min(lat_full[3] / lat_base[3]);
+    // Data near (rows 0, 1) vs far (rows 2, 3): loss at full occupancy.
+    let near_loss = (1.0 - bw_full[0] / bw_base[0]).max(1.0 - bw_full[1] / bw_base[1]);
+    let far_loss = (1.0 - bw_full[2] / bw_base[2]).min(1.0 - bw_full[3] / bw_base[3]);
+
+    let checks_lat = vec![
+        Check::new(
+            "far thread suffers more latency inflation than near thread",
+            far_infl > near_infl,
+            format!("far ×{:.2} vs near ×{:.2}", far_infl, near_infl),
+        ),
+        Check::new(
+            "near-thread latency stays bounded (~2 µs in the paper)",
+            lat_full[0] < 3.0,
+            format!("near/near at full occupancy: {:.2} µs", lat_full[0]),
+        ),
+        Check::new(
+            "baseline latency better near the NIC (paper: 1.39 vs 1.67 µs)",
+            lat_base[0] < lat_base[1],
+            format!("near {:.2} µs vs far {:.2} µs", lat_base[0], lat_base[1]),
+        ),
+    ];
+    let checks_bw = vec![
+        Check::new(
+            "data far from the NIC loses more bandwidth than data near",
+            far_loss > near_loss,
+            format!(
+                "far {:.0} % vs near {:.0} %",
+                far_loss * 100.0,
+                near_loss * 100.0
+            ),
+        ),
+        Check::new(
+            "every placement loses bandwidth at full occupancy",
+            bw_full
+                .iter()
+                .zip(&bw_base)
+                .all(|(f, b)| f < b),
+            format!(
+                "losses: {:?} %",
+                bw_full
+                    .iter()
+                    .zip(&bw_base)
+                    .map(|(f, b)| ((1.0 - f / b) * 100.0).round())
+                    .collect::<Vec<_>>()
+            ),
+        ),
+    ];
+
+    let mut lat_series = Vec::new();
+    let mut bw_series = Vec::new();
+    for r in results {
+        let mut la = r.lat.comm_alone;
+        la.name = format!("{} — alone", r.label);
+        let mut lt = r.lat.comm_together;
+        lt.name = format!("{} — + STREAM", r.label);
+        lat_series.push(la);
+        lat_series.push(lt);
+        let mut ba = r.bw.comm_alone;
+        ba.name = format!("{} — alone", r.label);
+        let mut bt = r.bw.comm_together;
+        bt.name = format!("{} — + STREAM", r.label);
+        bw_series.push(ba);
+        bw_series.push(bt);
+    }
+
+    vec![
+        FigureData {
+            id: "fig5-lat",
+            title: "Placement impact on network latency under contention (henri)".into(),
+            xlabel: "computing cores",
+            ylabel: "latency (us)",
+            series: lat_series,
+            notes: vec![format!(
+                "paper baselines: near {} µs vs far {} µs; near onset ~{} cores, far onset ~{} cores",
+                paper::FIG5_LAT_NEAR_US,
+                paper::FIG5_LAT_FAR_US,
+                paper::FIG5_NEAR_ONSET_CORES,
+                paper::FIG5_FAR_ONSET_CORES
+            )],
+            checks: checks_lat,
+        },
+        FigureData {
+            id: "fig5-bw",
+            title: "Placement impact on network bandwidth under contention (henri)".into(),
+            xlabel: "computing cores",
+            ylabel: "bandwidth (B/s)",
+            series: bw_series,
+            notes: vec![
+                "paper: data near → steady decrease; data far → abrupt drop".into(),
+            ],
+            checks: checks_bw,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_quick_passes_checks() {
+        let figs = run(Fidelity::Quick);
+        assert_eq!(figs.len(), 2);
+        for f in &figs {
+            for c in &f.checks {
+                assert!(c.pass, "{}: {} — {}", f.id, c.name, c.detail);
+            }
+            assert_eq!(f.series.len(), 8);
+        }
+    }
+}

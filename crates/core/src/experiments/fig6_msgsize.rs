@@ -1,0 +1,196 @@
+//! Figure 6 — impact of the transmitted message size on memory contention
+//! (§4.4), with 5 and with 35 computing cores.
+//!
+//! The paper's findings: with 5 computing cores, communications degrade
+//! from ~64 KiB (the DMA path starts fighting for the controller) while
+//! STREAM is impacted from ~4 KiB; with 35 cores the communications degrade
+//! from far smaller messages (~128 B).
+
+use kernels::stream::{workload, StreamKernel};
+use mpisim::pingpong::PingPongConfig;
+use simcore::Series;
+use topology::{henri, Placement};
+
+use crate::experiments::fig4_contention::STREAM_ELEMS;
+use crate::experiments::{size_sweep, Fidelity};
+use crate::paper;
+use crate::protocol::{self, ProtocolConfig};
+use crate::report::{Check, FigureData};
+
+/// Sweep message sizes at a fixed computing-core count. Returns
+/// (comm ratio series, stream ratio series): together ÷ alone per size —
+/// 1.0 means unimpacted.
+pub fn ratio_sweep(cores: usize, fidelity: Fidelity, seed: u64) -> (Series, Series) {
+    let machine = henri();
+    let placement = Placement::fig4_default();
+    let data = machine.near_numa();
+    let sizes = fidelity.thin(&size_sweep());
+
+    let mut comm = Series::new(format!("comm speed ratio (together/alone), {} cores", cores));
+    let mut stream = Series::new(format!(
+        "STREAM BW ratio (together/alone), {} cores",
+        cores
+    ));
+    for &size in &sizes {
+        let w = workload(StreamKernel::Triad, STREAM_ELEMS, data, 1);
+        let mut cfg = ProtocolConfig::new(machine.clone(), Some(w));
+        cfg.placement = placement;
+        cfg.compute_cores = cores;
+        cfg.pingpong = PingPongConfig {
+            size,
+            reps: if size >= 1 << 20 {
+                fidelity.bw_reps()
+            } else {
+                fidelity.lat_reps()
+            },
+            warmup: 1,
+            mtag: 4,
+        };
+        cfg.reps = fidelity.reps();
+        cfg.seed = seed + size as u64;
+        let r = protocol::run(&cfg);
+        // Speed ratio: alone-latency / together-latency (≤ 1 when hurt).
+        let ratios: Vec<f64> = r
+            .comm_alone
+            .iter()
+            .zip(&r.together)
+            .map(|(a, t)| a.comm_latency_us / t.comm_latency_us)
+            .collect();
+        comm.push(size as f64, &ratios);
+        let sratios: Vec<f64> = r
+            .compute_alone
+            .iter()
+            .zip(&r.together)
+            .map(|(a, t)| t.compute_bw_per_core / a.compute_bw_per_core)
+            .collect();
+        stream.push(size as f64, &sratios);
+    }
+    (comm, stream)
+}
+
+/// First size at which the ratio drops below `1 - rel`.
+fn onset(series: &Series, rel: f64) -> Option<f64> {
+    series
+        .points
+        .iter()
+        .find(|p| p.y.median < 1.0 - rel)
+        .map(|p| p.x)
+}
+
+/// Run Figure 6 (returns `[fig6a 5 cores, fig6b 35 cores]`).
+pub fn run(fidelity: Fidelity) -> Vec<FigureData> {
+    let (comm5, stream5) = ratio_sweep(5, fidelity, 0xF16_6A);
+    let (comm35, stream35) = ratio_sweep(35, fidelity, 0xF16_6B);
+
+    let comm5_onset = onset(&comm5, 0.10);
+    let stream5_onset = onset(&stream5, 0.05);
+    let comm35_onset = onset(&comm35, 0.10);
+
+    let checks_a = vec![
+        Check::new(
+            "with 5 cores, small-message communication is unimpacted",
+            comm5.points[0].y.median > 0.95,
+            format!("4 B speed ratio {:.2}", comm5.points[0].y.median),
+        ),
+        Check::new(
+            "with 5 cores, any communication impact is confined to large messages",
+            comm5_onset.map(|x| x >= 16.0 * 1024.0).unwrap_or(true),
+            format!("comm 10 %-onset at {:?} B (paper: 64 KiB)", comm5_onset),
+        ),
+        Check::new(
+            "with 5 cores, STREAM is impacted once messages are large (paper: from 4 KiB)",
+            stream5_onset.is_some()
+                && stream5
+                    .points
+                    .last()
+                    .map(|p| p.y.median < 0.95)
+                    .unwrap_or(false),
+            format!(
+                "STREAM onset at {:?} B; 64 MiB ratio {:.2}",
+                stream5_onset,
+                stream5.points.last().map(|p| p.y.median).unwrap_or(f64::NAN)
+            ),
+        ),
+    ];
+    let checks_b = vec![
+        Check::new(
+            "with 35 cores, communications degrade from much smaller messages",
+            match (comm35_onset, comm5_onset) {
+                (Some(x35), Some(x5)) => x35 < x5,
+                (Some(_), None) => true,
+                _ => false,
+            },
+            format!("onset 35 cores: {:?} B vs 5 cores: {:?} B", comm35_onset, comm5_onset),
+        ),
+        Check::new(
+            "with 35 cores, large-message communication is heavily degraded",
+            comm35
+                .points
+                .last()
+                .map(|p| p.y.median < 0.6)
+                .unwrap_or(false),
+            format!(
+                "64 MiB speed ratio {:.2}",
+                comm35.points.last().map(|p| p.y.median).unwrap_or(f64::NAN)
+            ),
+        ),
+    ];
+
+    vec![
+        FigureData {
+            id: "fig6a",
+            title: "Impact of message size with 5 computing cores (henri)".into(),
+            xlabel: "message size (B)",
+            ylabel: "speed ratio (together/alone)",
+            series: vec![comm5, stream5],
+            notes: vec![format!(
+                "paper: comm degraded from {} B, STREAM from {} B",
+                paper::FIG6_5CORES_COMM_ONSET,
+                paper::FIG6_5CORES_STREAM_ONSET
+            )],
+            checks: checks_a,
+        },
+        FigureData {
+            id: "fig6b",
+            title: "Impact of message size with 35 computing cores (henri)".into(),
+            xlabel: "message size (B)",
+            ylabel: "speed ratio (together/alone)",
+            series: vec![comm35, stream35],
+            notes: vec![format!(
+                "paper: comm degraded from {} B, STREAM from ~4 KiB",
+                paper::FIG6_35CORES_COMM_ONSET
+            )],
+            checks: checks_b,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_quick_runs() {
+        // Quick fidelity thins the size sweep to the endpoints, so onsets
+        // are coarse; only assert that the sweep produces sane ratios.
+        let figs = run(Fidelity::Quick);
+        assert_eq!(figs.len(), 2);
+        for f in &figs {
+            for s in &f.series {
+                for p in &s.points {
+                    assert!(
+                        p.y.median > 0.01 && p.y.median < 1.6,
+                        "{}: implausible ratio {} at {}",
+                        f.id,
+                        p.y.median,
+                        p.x
+                    );
+                }
+            }
+        }
+        // The strongest effect must still show: 35-core large-message comm
+        // heavily degraded.
+        let last = figs[1].series[0].points.last().unwrap().y.median;
+        assert!(last < 0.7, "large-message ratio {}", last);
+    }
+}

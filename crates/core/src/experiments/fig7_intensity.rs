@@ -1,0 +1,186 @@
+//! Figure 7 — impact of the application's memory pressure on network
+//! performance, via the tunable-arithmetic-intensity TRIAD (§4.5).
+//!
+//! The *cursor* repeats the TRIAD update on each element before moving on:
+//! few repetitions → memory-bound (high pressure), many → CPU-bound. On
+//! henri the boundary sits around 6 flop/B: below it the network latency
+//! doubles and the bandwidth drops ~60 %; above it communication returns to
+//! nominal.
+
+use kernels::tunable;
+use mpisim::pingpong::PingPongConfig;
+use simcore::Series;
+use topology::{henri, Placement};
+
+use crate::experiments::Fidelity;
+use crate::paper;
+use crate::protocol::{self, ProtocolConfig};
+use crate::report::{Check, FigureData};
+
+/// Elements per tunable-TRIAD pass.
+const ELEMS: usize = 1_000_000;
+
+/// Cursor sweep covering 0.17–85 flop/B.
+fn cursor_sweep() -> Vec<u32> {
+    vec![1, 2, 4, 8, 16, 24, 36, 48, 72, 96, 144, 240, 480, 1020]
+}
+
+/// Run Figure 7 (returns `[fig7a latency, fig7b bandwidth]`).
+pub fn run(fidelity: Fidelity) -> Vec<FigureData> {
+    let machine = henri();
+    let placement = Placement::fig4_default();
+    let data = machine.near_numa();
+    // Quick mode needs points straddling the crossover (≈8 flop/B with 35
+    // normal-license cores at the 2.5 GHz ladder tail), so it keeps a
+    // hand-picked subset instead of generic thinning.
+    let cursors = match fidelity {
+        Fidelity::Full => cursor_sweep(),
+        Fidelity::Quick => vec![1, 48, 144, 1020],
+    };
+    let cores = 35.min(machine.core_count() as usize - 1);
+
+    let mut lat_alone = Series::new("latency alone (us)");
+    let mut lat_tog = Series::new("latency + compute (us)");
+    let mut bw_alone = Series::new("bandwidth alone (B/s)");
+    let mut bw_tog = Series::new("bandwidth + compute (B/s)");
+    let mut t_alone = Series::new("compute time alone (ms/pass)");
+    let mut t_tog = Series::new("compute time + comm (ms/pass)");
+
+    for &cursor in &cursors {
+        let ai = tunable::intensity(cursor);
+        let w = tunable::workload(ELEMS, cursor, data, 1);
+        // Latency experiment.
+        let mut cfg = ProtocolConfig::new(machine.clone(), Some(w.clone()));
+        cfg.placement = placement;
+        cfg.compute_cores = cores;
+        cfg.pingpong = PingPongConfig::latency(fidelity.lat_reps());
+        cfg.reps = fidelity.reps();
+        cfg.seed = 0xF16_7A + cursor as u64;
+        let rl = protocol::run(&cfg);
+        lat_alone.push(ai, &rl.lat_alone());
+        lat_tog.push(ai, &rl.lat_together());
+
+        // Bandwidth experiment.
+        let mut cfg = ProtocolConfig::new(machine.clone(), Some(w.clone()));
+        cfg.placement = placement;
+        cfg.compute_cores = cores;
+        cfg.pingpong = PingPongConfig {
+            size: 64 << 20,
+            reps: fidelity.bw_reps(),
+            warmup: 1,
+            mtag: 5,
+        };
+        cfg.reps = fidelity.reps();
+        cfg.seed = 0xF16_7B + cursor as u64;
+        let rb = protocol::run(&cfg);
+        bw_alone.push(ai, &rb.bw_alone());
+        bw_tog.push(ai, &rb.bw_together());
+        // Compute pass time from measured rates.
+        let times_alone: Vec<f64> = rb
+            .compute_alone
+            .iter()
+            .map(|m| m.iteration_time(&w) * 1e3)
+            .collect();
+        let times_tog: Vec<f64> = rb
+            .together
+            .iter()
+            .map(|m| m.iteration_time(&w) * 1e3)
+            .collect();
+        t_alone.push(ai, &times_alone);
+        t_tog.push(ai, &times_tog);
+    }
+
+    // ---- checks ----
+    let low_ai = lat_tog.points[0].y.median / lat_alone.points[0].y.median;
+    let hi_ai = lat_tog.points.last().expect("points").y.median
+        / lat_alone.points.last().expect("points").y.median;
+    let bw_low = bw_tog.points[0].y.median / bw_alone.points[0].y.median;
+    let bw_hi = bw_tog.points.last().expect("points").y.median
+        / bw_alone.points.last().expect("points").y.median;
+    // Crossover: first AI where together-bandwidth recovers ≥ 90 % of alone.
+    let crossover = bw_tog
+        .points
+        .iter()
+        .zip(&bw_alone.points)
+        .find(|(t, a)| t.y.median >= 0.9 * a.y.median)
+        .map(|(t, _)| t.x);
+
+    let checks_a = vec![
+        Check::new(
+            "low arithmetic intensity inflates latency (paper: ×2)",
+            low_ai > 1.4,
+            format!("×{:.2} at {:.2} flop/B", low_ai, lat_tog.points[0].x),
+        ),
+        Check::new(
+            "high arithmetic intensity leaves latency nominal",
+            hi_ai < 1.15,
+            format!(
+                "×{:.2} at {:.1} flop/B",
+                hi_ai,
+                lat_tog.points.last().unwrap().x
+            ),
+        ),
+    ];
+    let checks_b = vec![
+        Check::new(
+            "low arithmetic intensity crushes bandwidth (paper: −60 %)",
+            bw_low < 0.6,
+            format!("ratio {:.2} at {:.2} flop/B", bw_low, bw_tog.points[0].x),
+        ),
+        Check::new(
+            "high arithmetic intensity restores bandwidth",
+            bw_hi > 0.9,
+            format!("ratio {:.2}", bw_hi),
+        ),
+        Check::new(
+            "memory/CPU-bound boundary in the paper's ballpark (~6 flop/B on henri)",
+            crossover.map(|x| (2.0..14.0).contains(&x)).unwrap_or(false),
+            format!("90 %-recovery crossover at {:?} flop/B", crossover),
+        ),
+    ];
+
+    vec![
+        FigureData {
+            id: "fig7a",
+            title: "Memory pressure (tunable intensity) vs network latency (henri)".into(),
+            xlabel: "arithmetic intensity (flop/B)",
+            ylabel: "us / ms",
+            series: vec![lat_alone, lat_tog, t_alone.clone(), t_tog.clone()],
+            notes: vec![format!(
+                "paper: boundary ≈ {} flop/B on henri ({} on billy); latency doubles below it",
+                paper::FIG7_HENRI_BOUNDARY,
+                paper::FIG7_BILLY_BOUNDARY
+            )],
+            checks: checks_a,
+        },
+        FigureData {
+            id: "fig7b",
+            title: "Memory pressure (tunable intensity) vs network bandwidth (henri)".into(),
+            xlabel: "arithmetic intensity (flop/B)",
+            ylabel: "B/s / ms",
+            series: vec![bw_alone, bw_tog, t_alone, t_tog],
+            notes: vec![format!(
+                "paper: bandwidth drops ~{:.0} % and compute slows ~{:.0} % below the boundary",
+                paper::FIG7_BW_DROP * 100.0,
+                paper::FIG7_COMPUTE_SLOWDOWN * 100.0
+            )],
+            checks: checks_b,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_quick_passes_checks() {
+        let figs = run(Fidelity::Quick);
+        assert_eq!(figs.len(), 2);
+        for f in &figs {
+            for c in &f.checks {
+                assert!(c.pass, "{}: {} — {}", f.id, c.name, c.detail);
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Figure 9 — impact of worker polling on network latency (§5.4).
+//!
+//! Workers busy-wait on the shared task list with an exponential nop
+//! backoff. A ping-pong runs with *no tasks submitted*, so workers poll
+//! constantly. Latency is measured for the paper's four configurations:
+//! aggressive backoff (2 nops), StarPU default (32), huge backoff (10000 —
+//! equivalent to paused) and fully paused workers.
+
+use mpisim::pingpong::PingPongConfig;
+use simcore::{JitterFamily, Series};
+use taskrt::{pingpong as rt_pingpong, Runtime, RuntimeConfig};
+use topology::{henri, BindingPolicy, Placement};
+
+use crate::experiments::Fidelity;
+use crate::report::{Check, FigureData};
+use crate::protocol::{build_cluster, ProtocolConfig};
+
+/// The size sweep of Figure 9 (latency region: 4 B – 64 KiB).
+fn sizes(fidelity: Fidelity) -> Vec<usize> {
+    fidelity.thin(&[4usize, 64, 1024, 4 * 1024, 16 * 1024, 64 * 1024])
+}
+
+/// Latency sweep for one polling configuration (`None` = paused workers).
+fn sweep_config(backoff: Option<u32>, fidelity: Fidelity, seed: u64) -> Series {
+    let machine = henri();
+    let name = match backoff {
+        Some(b) => format!("backoff {} nops", b),
+        None => "paused workers".to_string(),
+    };
+    let mut series = Series::new(name);
+    for &size in &sizes(fidelity) {
+        let mut lats = Vec::new();
+        for rep in 0..fidelity.reps() {
+            let mut cfg = ProtocolConfig::new(machine.clone(), None);
+            cfg.placement = Placement {
+                comm_thread: BindingPolicy::NearNic,
+                data: BindingPolicy::NearNic,
+            };
+            cfg.seed = seed + rep as u64;
+            let family = JitterFamily::new(cfg.seed);
+            let mut cluster = build_cluster(&cfg, &family, rep as u64);
+            let mut rt_cfg = RuntimeConfig::for_machine(&machine);
+            if let Some(b) = backoff {
+                rt_cfg.backoff_max_nops = b;
+            }
+            let mut rt = Runtime::new(rt_cfg);
+            let cores = cluster.compute_cores();
+            rt.attach_workers(&mut cluster, 0, &cores.clone());
+            rt.attach_workers(&mut cluster, 1, &cores);
+            if backoff.is_none() {
+                rt.pause_workers(&mut cluster, 0);
+                rt.pause_workers(&mut cluster, 1);
+            }
+            let res = rt_pingpong::run(
+                &mut cluster,
+                &mut rt,
+                PingPongConfig {
+                    size,
+                    reps: fidelity.lat_reps(),
+                    warmup: 1,
+                    mtag: 6,
+                },
+            );
+            lats.push(res.median_latency_us());
+        }
+        series.push(size as f64, &lats);
+    }
+    series
+}
+
+/// Run Figure 9.
+pub fn run(fidelity: Fidelity) -> FigureData {
+    let aggressive = sweep_config(Some(2), fidelity, 0xF16_91);
+    let default = sweep_config(Some(32), fidelity, 0xF16_92);
+    let huge = sweep_config(Some(10_000), fidelity, 0xF16_93);
+    let paused = sweep_config(None, fidelity, 0xF16_94);
+
+    let at_small = |s: &Series| s.points[0].y.median;
+    let l2 = at_small(&aggressive);
+    let l32 = at_small(&default);
+    let l10k = at_small(&huge);
+    let lp = at_small(&paused);
+
+    let checks = vec![
+        Check::new(
+            "latency grows with polling aggressiveness (2 > 32 > 10000)",
+            l2 > l32 && l32 > l10k,
+            format!("{:.1} / {:.1} / {:.1} µs", l2, l32, l10k),
+        ),
+        Check::new(
+            "huge backoff ≈ paused workers",
+            (l10k - lp).abs() / lp < 0.05,
+            format!("{:.1} vs {:.1} µs", l10k, lp),
+        ),
+        Check::new(
+            "aggressive polling adds a visible penalty over paused",
+            l2 > lp * 1.02,
+            format!("+{:.2} µs ({:.1} %)", l2 - lp, (l2 / lp - 1.0) * 100.0),
+        ),
+    ];
+
+    FigureData {
+        id: "fig9",
+        title: "Impact of polling workers on network latency (henri)".into(),
+        xlabel: "message size (B)",
+        ylabel: "latency (us)",
+        series: vec![aggressive, default, huge, paused],
+        notes: vec![
+            "paper: latency higher the more often workers poll; long backoff equals paused; \
+             no effect on billy/pyxis (different locking)"
+                .into(),
+        ],
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_quick_passes_checks() {
+        let f = run(Fidelity::Quick);
+        for c in &f.checks {
+            assert!(c.pass, "{} — {}", c.name, c.detail);
+        }
+        assert_eq!(f.series.len(), 4);
+    }
+}

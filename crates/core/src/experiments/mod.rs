@@ -1,0 +1,135 @@
+//! One driver per paper figure/table.
+//!
+//! Every driver returns a [`crate::report::FigureData`] containing the
+//! simulated series, notes quoting the paper's reference values and
+//! automated qualitative checks. Drivers take a [`Fidelity`]: `Full`
+//! matches the paper's sweep density (used by the `repro` binary and the
+//! benches), `Quick` thins sweeps and repetitions for tests.
+
+pub mod ablations;
+pub mod cross_machine;
+pub mod fig1_frequency;
+pub mod fig2_freq_dynamics;
+pub mod fig3_avx;
+pub mod fig4_contention;
+pub mod fig5_placement;
+pub mod fig6_msgsize;
+pub mod fig7_intensity;
+pub mod fig8_runtime_overhead;
+pub mod fig9_polling;
+pub mod overlap;
+pub mod fig10_usecases;
+pub mod table1;
+
+use crate::report::FigureData;
+
+/// Sweep density / repetition selector.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fidelity {
+    /// Paper-density sweeps (repro binary, benches).
+    Full,
+    /// Thinned sweeps for fast tests.
+    Quick,
+}
+
+impl Fidelity {
+    /// Repetitions per configuration.
+    pub fn reps(self) -> u32 {
+        match self {
+            Fidelity::Full => 7,
+            Fidelity::Quick => 2,
+        }
+    }
+
+    /// Ping-pong repetitions for latency measurements.
+    pub fn lat_reps(self) -> u32 {
+        match self {
+            Fidelity::Full => 20,
+            Fidelity::Quick => 4,
+        }
+    }
+
+    /// Ping-pong repetitions for bandwidth measurements.
+    pub fn bw_reps(self) -> u32 {
+        match self {
+            Fidelity::Full => 4,
+            Fidelity::Quick => 2,
+        }
+    }
+
+    /// Thin a sweep: `Full` keeps it, `Quick` keeps every k-th point plus
+    /// the endpoints.
+    pub fn thin<T: Copy>(self, xs: &[T]) -> Vec<T> {
+        match self {
+            Fidelity::Full => xs.to_vec(),
+            Fidelity::Quick => {
+                if xs.len() <= 3 {
+                    return xs.to_vec();
+                }
+                let mut out = vec![xs[0]];
+                let mid = xs.len() / 2;
+                out.push(xs[mid]);
+                out.push(*xs.last().expect("non-empty"));
+                out
+            }
+        }
+    }
+}
+
+/// Run every figure driver on henri at the given fidelity. Used by the
+/// repro binary's `--all` mode and by the end-to-end integration test.
+pub fn run_all(fidelity: Fidelity) -> Vec<FigureData> {
+    let mut out = Vec::new();
+    out.extend(fig1_frequency::run(fidelity));
+    out.push(fig2_freq_dynamics::run(fidelity));
+    out.extend(fig3_avx::run(fidelity));
+    out.extend(fig4_contention::run(fidelity));
+    out.extend(fig5_placement::run(fidelity));
+    out.push(table1::run(fidelity));
+    out.extend(fig6_msgsize::run(fidelity));
+    out.extend(fig7_intensity::run(fidelity));
+    out.push(fig8_runtime_overhead::run(fidelity));
+    out.push(fig9_polling::run(fidelity));
+    out.extend(fig10_usecases::run(fidelity));
+    out
+}
+
+/// Run the extension experiments (cross-machine validation + model
+/// ablations) — not paper figures, but the studies DESIGN.md promises.
+pub fn run_extensions(fidelity: Fidelity) -> Vec<FigureData> {
+    vec![
+        cross_machine::run(fidelity),
+        ablations::run(fidelity),
+        overlap::run(fidelity),
+    ]
+}
+
+/// Standard message-size sweep (powers of four, 4 B – 64 MiB).
+pub fn size_sweep() -> Vec<usize> {
+    (0..=12).map(|i| 4usize << (2 * i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_sweep_shape() {
+        let s = size_sweep();
+        assert_eq!(s[0], 4);
+        assert_eq!(*s.last().unwrap(), 64 << 20);
+        assert!(s.windows(2).all(|w| w[1] == w[0] * 4));
+    }
+
+    #[test]
+    fn thinning() {
+        let xs: Vec<u32> = (0..10).collect();
+        assert_eq!(Fidelity::Full.thin(&xs).len(), 10);
+        let t = Fidelity::Quick.thin(&xs);
+        assert_eq!(t.first(), Some(&0));
+        assert_eq!(t.last(), Some(&9));
+        assert!(t.len() <= 4);
+        let small = [1u32, 2];
+        assert_eq!(Fidelity::Quick.thin(&small), vec![1, 2]);
+    }
+}

@@ -1,0 +1,29 @@
+//! # interference — the ICPP'21 benchmark suite
+//!
+//! The paper's primary contribution, rebuilt on the simulated substrate:
+//! a benchmark suite measuring **interferences between communications and
+//! computations** when they run side by side.
+//!
+//! * [`protocol`] — the three-step measurement protocol of §2.1
+//!   (computation alone → communication alone → both together), with
+//!   median/decile statistics over seeded repetitions;
+//! * [`experiments`] — one driver per figure/table of the paper
+//!   (`fig1_frequency` … `fig10_usecases`, `table1`), each returning
+//!   [`report::FigureData`] with the simulated series, the paper's
+//!   reference findings and automated qualitative checks;
+//! * [`report`] — ASCII rendering and CSV export of figure data;
+//! * [`paper`] — the reference values extracted from the paper's text.
+//!
+//! See `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod paper;
+pub mod protocol;
+pub mod report;
+pub mod results;
+
+pub use protocol::{ProtocolConfig, RepMetrics, StepResults};
+pub use report::{Check, FigureData};

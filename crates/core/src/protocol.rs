@@ -1,0 +1,356 @@
+//! The three-step benchmarking protocol of §2.1.
+//!
+//! 1. **Computation without communication** — jobs run alone for a
+//!    measurement window; the metric is the attained per-core memory
+//!    bandwidth (STREAM-style) and flop rate.
+//! 2. **Communication without computation** — a ping-pong alone.
+//! 3. **Computation with side-by-side communication** — the jobs restart
+//!    and the same ping-pong runs beside them; both metrics are collected
+//!    from the overlap window.
+//!
+//! Computations and communications use different data and are completely
+//! independent, each pinned to its own core — exactly the paper's setup.
+//! Every repetition is an independent seeded "run" (fresh cluster, fresh
+//! jitter draw), which yields the median/decile bands of the figures.
+
+use freq::{Governor, UncorePolicy};
+use kernels::Workload;
+use mpisim::pingpong::{self, PingPongConfig};
+use mpisim::Cluster;
+use simcore::{JitterFamily, SimTime};
+use topology::{MachineSpec, Placement};
+
+/// Configuration of one protocol run.
+#[derive(Clone)]
+pub struct ProtocolConfig {
+    /// Machine description (both nodes).
+    pub machine: MachineSpec,
+    /// Core-frequency governor.
+    pub governor: Governor,
+    /// Uncore policy.
+    pub uncore: UncorePolicy,
+    /// Thread/data placement.
+    pub placement: Placement,
+    /// Number of computing cores (first N compute cores, logical order).
+    pub compute_cores: usize,
+    /// Per-core workload (one iteration's phases; the executor repeats it).
+    pub workload: Option<Workload>,
+    /// Ping-pong parameters.
+    pub pingpong: PingPongConfig,
+    /// Repetitions (independent runs).
+    pub reps: u32,
+    /// RNG seed for the jitter family.
+    pub seed: u64,
+    /// Duration of the computation-alone window.
+    pub compute_window: SimTime,
+    /// Whether computation also runs on node 1 (the paper computes on both
+    /// ranks).
+    pub compute_both_nodes: bool,
+}
+
+impl ProtocolConfig {
+    /// A reasonable default around a machine and workload.
+    pub fn new(machine: MachineSpec, workload: Option<Workload>) -> ProtocolConfig {
+        ProtocolConfig {
+            machine,
+            governor: Governor::Performance { turbo: true },
+            uncore: UncorePolicy::Auto,
+            placement: Placement::fig4_default(),
+            compute_cores: 0,
+            workload,
+            pingpong: PingPongConfig::latency(9),
+            reps: 5,
+            seed: 0xC0FFEE,
+            compute_window: SimTime::from_millis(2),
+            compute_both_nodes: true,
+        }
+    }
+}
+
+/// Metrics of one repetition.
+#[derive(Clone, Debug, Default)]
+pub struct RepMetrics {
+    /// Median ping-pong latency, µs (NaN if no communication step).
+    pub comm_latency_us: f64,
+    /// Median ping-pong bandwidth, bytes/s.
+    pub comm_bandwidth: f64,
+    /// Mean per-core attained memory bandwidth, bytes/s (0 for pure
+    /// compute).
+    pub compute_bw_per_core: f64,
+    /// Mean per-core attained flop rate, flops/s.
+    pub compute_flop_rate: f64,
+    /// Mean memory-stall fraction of the computing cores.
+    pub compute_stall_fraction: f64,
+}
+
+impl RepMetrics {
+    /// Duration one workload iteration would take at the measured rates
+    /// (the paper's "computation time" metric), seconds.
+    pub fn iteration_time(&self, workload: &Workload) -> f64 {
+        let bytes = workload.phases.iter().map(|p| p.bytes).sum::<f64>();
+        let flops = workload.phases.iter().map(|p| p.flops).sum::<f64>();
+        if bytes > 0.0 && self.compute_bw_per_core > 0.0 {
+            bytes / self.compute_bw_per_core
+        } else if flops > 0.0 && self.compute_flop_rate > 0.0 {
+            flops / self.compute_flop_rate
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// Results of the three steps across repetitions.
+#[derive(Clone, Debug, Default)]
+pub struct StepResults {
+    /// Step 1: computation alone.
+    pub compute_alone: Vec<RepMetrics>,
+    /// Step 2: communication alone.
+    pub comm_alone: Vec<RepMetrics>,
+    /// Step 3: both together.
+    pub together: Vec<RepMetrics>,
+}
+
+impl StepResults {
+    fn collect(metrics: &[RepMetrics], f: impl Fn(&RepMetrics) -> f64) -> Vec<f64> {
+        metrics.iter().map(f).collect()
+    }
+
+    /// Latencies (µs) of the communication-alone step, one per rep.
+    pub fn lat_alone(&self) -> Vec<f64> {
+        Self::collect(&self.comm_alone, |m| m.comm_latency_us)
+    }
+
+    /// Latencies (µs) of the together step.
+    pub fn lat_together(&self) -> Vec<f64> {
+        Self::collect(&self.together, |m| m.comm_latency_us)
+    }
+
+    /// Bandwidths (bytes/s) of the communication-alone step.
+    pub fn bw_alone(&self) -> Vec<f64> {
+        Self::collect(&self.comm_alone, |m| m.comm_bandwidth)
+    }
+
+    /// Bandwidths (bytes/s) of the together step.
+    pub fn bw_together(&self) -> Vec<f64> {
+        Self::collect(&self.together, |m| m.comm_bandwidth)
+    }
+
+    /// Per-core compute memory bandwidth, alone.
+    pub fn compute_bw_alone(&self) -> Vec<f64> {
+        Self::collect(&self.compute_alone, |m| m.compute_bw_per_core)
+    }
+
+    /// Per-core compute memory bandwidth, together.
+    pub fn compute_bw_together(&self) -> Vec<f64> {
+        Self::collect(&self.together, |m| m.compute_bw_per_core)
+    }
+
+    /// Per-core flop rate, alone.
+    pub fn flops_alone(&self) -> Vec<f64> {
+        Self::collect(&self.compute_alone, |m| m.compute_flop_rate)
+    }
+
+    /// Per-core flop rate, together.
+    pub fn flops_together(&self) -> Vec<f64> {
+        Self::collect(&self.together, |m| m.compute_flop_rate)
+    }
+}
+
+/// Build the cluster for one repetition.
+pub fn build_cluster(cfg: &ProtocolConfig, family: &JitterFamily, rep: u64) -> Cluster {
+    let mut cluster = Cluster::new(&cfg.machine, cfg.governor, cfg.uncore, cfg.placement);
+    cluster.apply_run_jitter(family, rep);
+    cluster
+}
+
+/// Start the configured computation jobs; returns their ids per node.
+fn start_compute(cfg: &ProtocolConfig, cluster: &mut Cluster) -> Vec<(usize, memsim::exec::JobId)> {
+    let mut jobs = Vec::new();
+    let Some(w) = &cfg.workload else {
+        return jobs;
+    };
+    if cfg.compute_cores == 0 {
+        return jobs;
+    }
+    let cores = cluster.compute_cores();
+    assert!(
+        cfg.compute_cores <= cores.len(),
+        "requested {} computing cores, only {} available",
+        cfg.compute_cores,
+        cores.len()
+    );
+    let nodes: &[usize] = if cfg.compute_both_nodes { &[0, 1] } else { &[0] };
+    for &node in nodes {
+        for &core in &cores[..cfg.compute_cores] {
+            let mut spec = w.on_core(core);
+            // Run "forever": the protocol stops jobs at the end of the
+            // window and reads partial statistics.
+            spec.iterations = u64::MAX / 2;
+            jobs.push((node, cluster.start_job(node, spec)));
+        }
+    }
+    jobs
+}
+
+/// Stop jobs and aggregate their metrics.
+fn stop_compute(
+    cluster: &mut Cluster,
+    jobs: Vec<(usize, memsim::exec::JobId)>,
+    out: &mut RepMetrics,
+) {
+    let mut n = 0.0;
+    for (node, id) in jobs {
+        if let Some(st) = cluster.stop_job(node, id) {
+            let el = st.elapsed_s();
+            if el > 0.0 {
+                out.compute_bw_per_core += st.bytes / el;
+                out.compute_flop_rate += st.flops / el;
+                out.compute_stall_fraction += st.stall_fraction();
+                n += 1.0;
+            }
+        }
+    }
+    if n > 0.0 {
+        out.compute_bw_per_core /= n;
+        out.compute_flop_rate /= n;
+        out.compute_stall_fraction /= n;
+    }
+}
+
+/// Run the full three-step protocol.
+pub fn run(cfg: &ProtocolConfig) -> StepResults {
+    let family = JitterFamily::new(cfg.seed);
+    let mut results = StepResults::default();
+    for rep in 0..cfg.reps {
+        // Step 1: computation alone.
+        if cfg.workload.is_some() && cfg.compute_cores > 0 {
+            let mut cluster = build_cluster(cfg, &family, rep as u64);
+            let jobs = start_compute(cfg, &mut cluster);
+            let deadline = cluster.engine.now() + cfg.compute_window;
+            while cluster.step_until(deadline).is_some() {}
+            let mut m = RepMetrics::default();
+            stop_compute(&mut cluster, jobs, &mut m);
+            results.compute_alone.push(m);
+        }
+
+        // Step 2: communication alone.
+        {
+            let mut cluster = build_cluster(cfg, &family, rep as u64);
+            let res = pingpong::run(&mut cluster, cfg.pingpong);
+            results.comm_alone.push(RepMetrics {
+                comm_latency_us: res.median_latency_us(),
+                comm_bandwidth: res.median_bandwidth(),
+                ..Default::default()
+            });
+        }
+
+        // Step 3: together.
+        {
+            let mut cluster = build_cluster(cfg, &family, rep as u64);
+            let jobs = start_compute(cfg, &mut cluster);
+            let res = pingpong::run_with_background(&mut cluster, cfg.pingpong, |_, ev| {
+                // Jobs are effectively endless; completions are impossible,
+                // other events are ignored.
+                let _ = ev;
+            });
+            let mut m = RepMetrics {
+                comm_latency_us: res.median_latency_us(),
+                comm_bandwidth: res.median_bandwidth(),
+                ..Default::default()
+            };
+            stop_compute(&mut cluster, jobs, &mut m);
+            results.together.push(m);
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernels::stream::{workload, StreamKernel};
+    use topology::{henri, NumaId};
+
+    fn stream_cfg(cores: usize, pp: PingPongConfig) -> ProtocolConfig {
+        let w = workload(StreamKernel::Triad, 2_000_000, NumaId(0), 1);
+        let mut cfg = ProtocolConfig::new(henri(), Some(w));
+        cfg.compute_cores = cores;
+        cfg.pingpong = pp;
+        cfg.reps = 3;
+        cfg.compute_window = SimTime::from_millis(1);
+        cfg
+    }
+
+    #[test]
+    fn three_steps_produce_metrics() {
+        let cfg = stream_cfg(4, PingPongConfig::latency(5));
+        let r = run(&cfg);
+        assert_eq!(r.compute_alone.len(), 3);
+        assert_eq!(r.comm_alone.len(), 3);
+        assert_eq!(r.together.len(), 3);
+        assert!(r.comm_alone[0].comm_latency_us > 0.5);
+        assert!(r.compute_alone[0].compute_bw_per_core > 1e9);
+    }
+
+    #[test]
+    fn contention_reduces_both_sides() {
+        // 35 memory-bound cores against a 64 MiB ping-pong: both metrics
+        // must degrade vs alone.
+        let mut cfg = stream_cfg(
+            35,
+            PingPongConfig {
+                size: 64 << 20,
+                reps: 2,
+                warmup: 1,
+                mtag: 1,
+            },
+        );
+        cfg.reps = 2;
+        let r = run(&cfg);
+        let bw_alone = simcore::Summary::of(&r.bw_alone()).median;
+        let bw_tog = simcore::Summary::of(&r.bw_together()).median;
+        assert!(
+            bw_tog < bw_alone * 0.7,
+            "network bw: alone {} together {}",
+            bw_alone,
+            bw_tog
+        );
+        let cbw_alone = simcore::Summary::of(&r.compute_bw_alone()).median;
+        let cbw_tog = simcore::Summary::of(&r.compute_bw_together()).median;
+        assert!(
+            cbw_tog < cbw_alone,
+            "compute bw: alone {} together {}",
+            cbw_alone,
+            cbw_tog
+        );
+    }
+
+    #[test]
+    fn no_compute_cores_skips_step_one() {
+        let mut cfg = stream_cfg(0, PingPongConfig::latency(3));
+        cfg.reps = 2;
+        let r = run(&cfg);
+        assert!(r.compute_alone.is_empty());
+        assert_eq!(r.comm_alone.len(), 2);
+    }
+
+    #[test]
+    fn iteration_time_derivation() {
+        let w = workload(StreamKernel::Triad, 1_000_000, NumaId(0), 1);
+        let m = RepMetrics {
+            compute_bw_per_core: 12.0e9,
+            ..Default::default()
+        };
+        // 24 MB per pass at 12 GB/s = 2 ms.
+        let t = m.iteration_time(&w);
+        assert!((t - 2e-3).abs() < 1e-9, "t {}", t);
+    }
+
+    #[test]
+    fn reps_differ_with_jitter() {
+        let cfg = stream_cfg(2, PingPongConfig::latency(3));
+        let r = run(&cfg);
+        let lats = r.lat_alone();
+        assert!(lats.iter().any(|&l| (l - lats[0]).abs() > 1e-6));
+    }
+}

@@ -1,0 +1,172 @@
+//! Machine-readable result export.
+//!
+//! Figures can be exported as CSV (see [`crate::report::FigureData::to_csv`])
+//! or as JSON via [`figure_to_json`] for downstream plotting. The JSON
+//! encoder is a ~60-line hand-rolled writer so the simulator keeps its
+//! dependency-free core (no serde format crate needed for this fixed,
+//! shallow schema).
+
+use crate::report::FigureData;
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an f64 as JSON (finite → shortest float, non-finite → null).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{}", v)
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serialize one figure to a JSON object:
+///
+/// ```json
+/// { "id": "...", "title": "...", "xlabel": "...", "ylabel": "...",
+///   "series": [ { "name": "...",
+///                 "points": [ {"x":…, "median":…, "d1":…, "d9":…,
+///                              "min":…, "max":…, "n":…} ] } ],
+///   "notes": [...],
+///   "checks": [ {"name": "...", "pass": true, "detail": "..."} ] }
+/// ```
+pub fn figure_to_json(fig: &FigureData) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"id\":\"{}\",\"title\":\"{}\",\"xlabel\":\"{}\",\"ylabel\":\"{}\",\"series\":[",
+        esc(fig.id),
+        esc(&fig.title),
+        esc(fig.xlabel),
+        esc(fig.ylabel)
+    );
+    for (si, s) in fig.series.iter().enumerate() {
+        if si > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"name\":\"{}\",\"points\":[", esc(&s.name));
+        for (pi, p) in s.points.iter().enumerate() {
+            if pi > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"x\":{},\"median\":{},\"d1\":{},\"d9\":{},\"min\":{},\"max\":{},\"n\":{}}}",
+                num(p.x),
+                num(p.y.median),
+                num(p.y.d1),
+                num(p.y.d9),
+                num(p.y.min),
+                num(p.y.max),
+                p.y.n
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"notes\":[");
+    for (ni, n) in fig.notes.iter().enumerate() {
+        if ni > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\"", esc(n));
+    }
+    out.push_str("],\"checks\":[");
+    for (ci, c) in fig.checks.iter().enumerate() {
+        if ci > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"pass\":{},\"detail\":\"{}\"}}",
+            esc(&c.name),
+            c.pass,
+            esc(&c.detail)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Serialize a set of figures to a JSON array.
+pub fn figures_to_json(figs: &[FigureData]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in figs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&figure_to_json(f));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Check;
+    use simcore::Series;
+
+    fn fig() -> FigureData {
+        let mut s = Series::new("lat \"q\"");
+        s.push(1.0, &[2.0, 3.0]);
+        FigureData {
+            id: "figT",
+            title: "t\nx".into(),
+            xlabel: "cores",
+            ylabel: "us",
+            series: vec![s],
+            notes: vec!["a \"note\"".into()],
+            checks: vec![Check::new("c", true, "d\\e")],
+        }
+    }
+
+    #[test]
+    fn json_structure() {
+        let j = figure_to_json(&fig());
+        assert!(j.starts_with("{\"id\":\"figT\""));
+        assert!(j.contains("\"series\":[{\"name\":\"lat \\\"q\\\"\""));
+        assert!(j.contains("\"pass\":true"));
+        assert!(j.contains("\"x\":1"));
+        // Balanced braces/brackets.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(1.5), "1.5");
+    }
+
+    #[test]
+    fn array_form() {
+        let j = figures_to_json(&[fig(), fig()]);
+        assert!(j.starts_with('['));
+        assert!(j.ends_with(']'));
+        assert_eq!(j.matches("\"id\":\"figT\"").count(), 2);
+    }
+}

@@ -1,0 +1,492 @@
+//! # freq — CPU frequency model (core and uncore DVFS)
+//!
+//! Models the two frequency domains the paper studies (§3):
+//!
+//! * **Core frequency** — impacts computation units and L1/L2 caches. Under
+//!   a dynamic governor the frequency of a core depends on its *activity*
+//!   (idle / light polling / heavy compute), the *instruction license*
+//!   (normal / AVX2 / AVX512 — wide-vector instructions force lower turbo
+//!   ceilings, Gottschlag & Bellosa) and the number of active cores on the
+//!   same socket (turbo ladder).
+//! * **Uncore frequency** — impacts the last-level cache and the memory
+//!   controller; it scales memory bandwidth slightly and is raised by the
+//!   package when any core is busy.
+//!
+//! The model is pure state + queries; the simulation driver calls
+//! [`FreqModel::set_activity`] on workload transitions and re-applies the
+//! resulting frequencies to the engine's cycle resources.
+
+#![warn(missing_docs)]
+
+use simcore::{SimTime, Trace};
+use topology::{CoreId, MachineSpec, SocketId};
+
+/// Instruction license of a compute workload, ordered by how aggressively it
+/// drags turbo frequencies down.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, PartialOrd, Ord)]
+pub enum License {
+    /// Scalar / SSE-class instructions.
+    Normal = 0,
+    /// AVX2-class (256-bit) instructions.
+    Avx2 = 1,
+    /// AVX512-class (512-bit) instructions.
+    Avx512 = 2,
+}
+
+impl License {
+    /// Index into the machine's turbo tables.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// What a core is currently doing, as seen by the governor.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum Activity {
+    /// Nothing running: the governor parks the core at its idle frequency.
+    #[default]
+    Idle,
+    /// A polling/communication loop: architecturally busy but light; does
+    /// not climb the full turbo ladder (cf. the stable 2.5 GHz communication
+    /// core in the paper's Figures 2 and 3).
+    Light,
+    /// A compute kernel with the given instruction license.
+    Heavy(License),
+}
+
+/// Core-frequency governor.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Governor {
+    /// All cores pinned at a constant frequency (the paper's `userspace`
+    /// governor + `cpupower`, used for Figure 1).
+    Userspace(f64),
+    /// Active cores run at base/turbo, idle cores drop to the idle
+    /// frequency (the paper's default setup).
+    Performance {
+        /// Whether turbo-boost is enabled.
+        turbo: bool,
+    },
+}
+
+/// Uncore-frequency policy.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum UncorePolicy {
+    /// Pinned at a constant frequency (the paper pins it via BIOS/Likwid).
+    Fixed(f64),
+    /// Hardware-managed: maximum when any core is busy, minimum when the
+    /// package idles.
+    Auto,
+}
+
+/// The frequency model of one node.
+pub struct FreqModel {
+    name: String,
+    sockets: u32,
+    cores: u32,
+    cores_per_socket: u32,
+    idle_freq: f64,
+    light_cap: f64,
+    base_freq: f64,
+    turbo_table: [Vec<f64>; 3],
+    uncore_range: (f64, f64),
+    governor: Governor,
+    uncore: UncorePolicy,
+    activity: Vec<Activity>,
+    /// Per-core frequency traces (Figures 2 and 3 of the paper).
+    traces: Vec<Trace>,
+    tracing: bool,
+}
+
+impl FreqModel {
+    /// Build the model for a machine under the given policies.
+    pub fn new(spec: &MachineSpec, governor: Governor, uncore: UncorePolicy) -> FreqModel {
+        if let Governor::Userspace(f) = governor {
+            assert!(
+                f >= spec.min_freq && f <= spec.turbo_table[0][0],
+                "userspace frequency {} outside [{}, {}]",
+                f,
+                spec.min_freq,
+                spec.turbo_table[0][0]
+            );
+        }
+        if let UncorePolicy::Fixed(f) = uncore {
+            assert!(
+                f >= spec.uncore_range.0 - 1e-9 && f <= spec.uncore_range.1 + 1e-9,
+                "uncore frequency {} outside {:?}",
+                f,
+                spec.uncore_range
+            );
+        }
+        let cores = spec.core_count();
+        FreqModel {
+            name: spec.name.clone(),
+            sockets: spec.sockets,
+            cores,
+            cores_per_socket: cores / spec.sockets,
+            idle_freq: spec.idle_freq,
+            light_cap: spec.light_freq_cap,
+            base_freq: spec.base_freq,
+            turbo_table: spec.turbo_table.clone(),
+            uncore_range: spec.uncore_range,
+            governor,
+            uncore,
+            activity: vec![Activity::Idle; cores as usize],
+            traces: (0..cores)
+                .map(|c| Trace::new(format!("core{}", c)))
+                .collect(),
+            tracing: false,
+        }
+    }
+
+    /// Machine name this model was built for.
+    pub fn machine(&self) -> &str {
+        &self.name
+    }
+
+    /// Enable recording per-core frequency traces.
+    pub fn enable_tracing(&mut self) {
+        self.tracing = true;
+    }
+
+    fn socket_of(&self, core: CoreId) -> SocketId {
+        SocketId(core.0 / self.cores_per_socket)
+    }
+
+    /// Number of non-idle cores on a socket.
+    pub fn active_on_socket(&self, socket: SocketId) -> u32 {
+        self.cores_on_socket(socket)
+            .filter(|&c| self.activity[c.0 as usize] != Activity::Idle)
+            .count() as u32
+    }
+
+    fn heavy_on_socket(&self, socket: SocketId) -> u32 {
+        self.cores_on_socket(socket)
+            .filter(|&c| matches!(self.activity[c.0 as usize], Activity::Heavy(_)))
+            .count() as u32
+    }
+
+    fn cores_on_socket(&self, socket: SocketId) -> impl Iterator<Item = CoreId> + '_ {
+        let start = socket.0 * self.cores_per_socket;
+        (start..start + self.cores_per_socket).map(CoreId)
+    }
+
+    /// Worst (lowest-ceiling) license among heavy cores of a socket.
+    fn socket_license(&self, socket: SocketId) -> License {
+        self.cores_on_socket(socket)
+            .filter_map(|c| match self.activity[c.0 as usize] {
+                Activity::Heavy(l) => Some(l),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(License::Normal)
+    }
+
+    fn ladder(&self, license: License, active: u32) -> f64 {
+        let t = &self.turbo_table[license.index()];
+        if active == 0 {
+            return t[0];
+        }
+        let i = (active as usize - 1).min(t.len() - 1);
+        t[i]
+    }
+
+    /// Record a core's new activity. Returns `true` if any frequency may
+    /// have changed (callers then re-apply [`FreqModel::core_freq`] to the
+    /// engine's resources).
+    pub fn set_activity(&mut self, core: CoreId, activity: Activity) -> bool {
+        let slot = &mut self.activity[core.0 as usize];
+        if *slot == activity {
+            return false;
+        }
+        *slot = activity;
+        true
+    }
+
+    /// Current activity of a core.
+    pub fn activity(&self, core: CoreId) -> Activity {
+        self.activity[core.0 as usize]
+    }
+
+    /// Frequency of a core in GHz under the current governor and activity.
+    pub fn core_freq(&self, core: CoreId) -> f64 {
+        match self.governor {
+            Governor::Userspace(f) => f,
+            Governor::Performance { turbo } => {
+                let socket = self.socket_of(core);
+                let active = self.active_on_socket(socket);
+                match self.activity[core.0 as usize] {
+                    Activity::Idle => {
+                        // The paper observes *all* cores clock up when heavy
+                        // computation runs (shared voltage rail): idle cores
+                        // follow the socket's heavy frequency.
+                        if self.heavy_on_socket(socket) > 0 {
+                            let lic = self.socket_license(socket);
+                            if turbo {
+                                self.ladder(lic, active)
+                            } else {
+                                self.base_freq
+                            }
+                        } else {
+                            self.idle_freq
+                        }
+                    }
+                    Activity::Light => {
+                        let f = if turbo {
+                            self.ladder(License::Normal, active)
+                        } else {
+                            self.base_freq
+                        };
+                        f.min(self.light_cap)
+                    }
+                    Activity::Heavy(lic) => {
+                        if turbo {
+                            self.ladder(lic, active)
+                        } else {
+                            // Without turbo, heavy AVX work can still force
+                            // the clock below base (license floor).
+                            self.base_freq.min(self.ladder(lic, active))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Uncore frequency in GHz.
+    pub fn uncore_freq(&self) -> f64 {
+        match self.uncore {
+            UncorePolicy::Fixed(f) => f,
+            UncorePolicy::Auto => {
+                let busy = (0..self.sockets).any(|s| self.active_on_socket(SocketId(s)) > 0);
+                if busy {
+                    self.uncore_range.1
+                } else {
+                    self.uncore_range.0
+                }
+            }
+        }
+    }
+
+    /// Number of *heavy* cores across the machine — the signal used for the
+    /// package-idle latency penalty (§3.2/§3.3: latency improves when
+    /// computation runs beside communication).
+    pub fn heavy_total(&self) -> u32 {
+        (0..self.sockets)
+            .map(|s| self.heavy_on_socket(SocketId(s)))
+            .sum()
+    }
+
+    /// All core frequencies, indexed by core id.
+    pub fn snapshot(&self) -> Vec<f64> {
+        (0..self.cores).map(|c| self.core_freq(CoreId(c))).collect()
+    }
+
+    /// Record the current snapshot into the per-core traces at time `t`.
+    pub fn record(&mut self, t: SimTime) {
+        if !self.tracing {
+            return;
+        }
+        let snap = self.snapshot();
+        for (trace, f) in self.traces.iter_mut().zip(snap) {
+            trace.record(t, f);
+        }
+    }
+
+    /// Access a core's recorded frequency trace.
+    pub fn trace(&self, core: CoreId) -> &Trace {
+        &self.traces[core.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::{henri, pyxis};
+
+    fn model(gov: Governor) -> FreqModel {
+        FreqModel::new(&henri(), gov, UncorePolicy::Auto)
+    }
+
+    #[test]
+    fn userspace_pins_everything() {
+        let mut m = model(Governor::Userspace(1.0));
+        assert_eq!(m.core_freq(CoreId(0)), 1.0);
+        m.set_activity(CoreId(0), Activity::Heavy(License::Avx512));
+        assert_eq!(m.core_freq(CoreId(0)), 1.0);
+        assert_eq!(m.core_freq(CoreId(35)), 1.0);
+    }
+
+    #[test]
+    fn idle_cores_at_idle_freq() {
+        let m = model(Governor::Performance { turbo: true });
+        for c in 0..36 {
+            assert_eq!(m.core_freq(CoreId(c)), 1.0);
+        }
+    }
+
+    #[test]
+    fn light_core_capped() {
+        // The paper's communication core sits at 2.5 GHz on henri.
+        let mut m = model(Governor::Performance { turbo: true });
+        m.set_activity(CoreId(35), Activity::Light);
+        assert_eq!(m.core_freq(CoreId(35)), 2.5);
+    }
+
+    #[test]
+    fn single_heavy_core_turbos() {
+        let mut m = model(Governor::Performance { turbo: true });
+        m.set_activity(CoreId(0), Activity::Heavy(License::Normal));
+        assert_eq!(m.core_freq(CoreId(0)), 3.7);
+    }
+
+    #[test]
+    fn turbo_ladder_descends_with_active_cores() {
+        let mut m = model(Governor::Performance { turbo: true });
+        let mut last = f64::INFINITY;
+        for n in 0..18u32 {
+            m.set_activity(CoreId(n), Activity::Heavy(License::Normal));
+            let f = m.core_freq(CoreId(0));
+            assert!(f <= last, "ladder must not rise: {} > {}", f, last);
+            last = f;
+        }
+        // 18 active cores on socket 0 → ladder tail.
+        assert_eq!(last, 2.5);
+    }
+
+    #[test]
+    fn avx512_four_vs_twenty_cores_matches_paper() {
+        // Fig 3b: 4 AVX512 cores → 3.0 GHz. Fig 3c: 20 cores → 2.3 GHz
+        // (the computing cores are pinned in logical order, so socket 0
+        // fills first).
+        let mut m = model(Governor::Performance { turbo: true });
+        for c in 0..4 {
+            m.set_activity(CoreId(c), Activity::Heavy(License::Avx512));
+        }
+        assert_eq!(m.core_freq(CoreId(0)), 3.0);
+        for c in 4..20 {
+            m.set_activity(CoreId(c), Activity::Heavy(License::Avx512));
+        }
+        // Socket 0 now has 18 heavy cores → AVX512 tail = 2.3 GHz.
+        assert_eq!(m.core_freq(CoreId(0)), 2.3);
+        // Socket 1 has 2 heavy cores → near the top of the AVX512 ladder.
+        assert_eq!(m.core_freq(CoreId(19)), 3.0);
+    }
+
+    #[test]
+    fn comm_core_unaffected_by_avx_on_same_socket() {
+        // §3.3: cores executing AVX do not impact the communication core's
+        // frequency (it holds its Normal-license ceiling, capped at 2.5).
+        let mut m = model(Governor::Performance { turbo: true });
+        m.set_activity(CoreId(17), Activity::Light);
+        let before = m.core_freq(CoreId(17));
+        for c in 0..17 {
+            m.set_activity(CoreId(c), Activity::Heavy(License::Avx512));
+        }
+        let after = m.core_freq(CoreId(17));
+        assert_eq!(before, 2.5);
+        assert_eq!(after, 2.5);
+    }
+
+    #[test]
+    fn idle_cores_follow_heavy_socket() {
+        // Fig 2 (C): all cores clock up when 20 cores compute.
+        let mut m = model(Governor::Performance { turbo: true });
+        for c in 0..18 {
+            m.set_activity(CoreId(c), Activity::Heavy(License::Normal));
+        }
+        // There is no idle core left on socket 0 in this loop — use 17 as
+        // heavy and verify; instead check socket 1 idle cores stay idle.
+        assert_eq!(m.core_freq(CoreId(20)), 1.0);
+        // Reset one core to idle: it should follow the socket frequency.
+        m.set_activity(CoreId(17), Activity::Idle);
+        assert!(m.core_freq(CoreId(17)) >= 2.5);
+    }
+
+    #[test]
+    fn no_turbo_holds_base() {
+        let mut m = model(Governor::Performance { turbo: false });
+        m.set_activity(CoreId(0), Activity::Heavy(License::Normal));
+        assert_eq!(m.core_freq(CoreId(0)), 2.3);
+        // AVX512 tail (2.3) does not exceed base either.
+        for c in 1..18 {
+            m.set_activity(CoreId(c), Activity::Heavy(License::Avx512));
+        }
+        assert!(m.core_freq(CoreId(0)) <= 2.3);
+    }
+
+    #[test]
+    fn uncore_auto_follows_activity() {
+        let mut m = model(Governor::Performance { turbo: true });
+        assert_eq!(m.uncore_freq(), 1.2);
+        m.set_activity(CoreId(3), Activity::Light);
+        assert_eq!(m.uncore_freq(), 2.4);
+        m.set_activity(CoreId(3), Activity::Idle);
+        assert_eq!(m.uncore_freq(), 1.2);
+    }
+
+    #[test]
+    fn uncore_fixed() {
+        let m = FreqModel::new(
+            &henri(),
+            Governor::Performance { turbo: true },
+            UncorePolicy::Fixed(1.2),
+        );
+        assert_eq!(m.uncore_freq(), 1.2);
+    }
+
+    #[test]
+    fn heavy_total_counts_machine_wide() {
+        let mut m = model(Governor::Performance { turbo: true });
+        assert_eq!(m.heavy_total(), 0);
+        m.set_activity(CoreId(0), Activity::Heavy(License::Normal));
+        m.set_activity(CoreId(20), Activity::Heavy(License::Avx2));
+        m.set_activity(CoreId(21), Activity::Light); // not heavy
+        assert_eq!(m.heavy_total(), 2);
+    }
+
+    #[test]
+    fn pyxis_is_flat() {
+        // ThunderX2: no turbo ladder at all.
+        let mut m = FreqModel::new(
+            &pyxis(),
+            Governor::Performance { turbo: true },
+            UncorePolicy::Auto,
+        );
+        for c in 0..32 {
+            m.set_activity(CoreId(c), Activity::Heavy(License::Normal));
+        }
+        assert_eq!(m.core_freq(CoreId(0)), 2.5);
+    }
+
+    #[test]
+    fn tracing_records_changes() {
+        let mut m = model(Governor::Performance { turbo: true });
+        m.enable_tracing();
+        m.record(SimTime::ZERO);
+        m.set_activity(CoreId(0), Activity::Heavy(License::Normal));
+        m.record(SimTime::from_millis(1));
+        let tr = m.trace(CoreId(0));
+        assert_eq!(tr.value_at(SimTime::ZERO), Some(1.0));
+        assert_eq!(tr.value_at(SimTime::from_millis(1)), Some(3.7));
+    }
+
+    #[test]
+    fn set_activity_reports_change() {
+        let mut m = model(Governor::Performance { turbo: true });
+        assert!(m.set_activity(CoreId(0), Activity::Light));
+        assert!(!m.set_activity(CoreId(0), Activity::Light));
+    }
+
+    #[test]
+    #[should_panic(expected = "userspace frequency")]
+    fn userspace_out_of_range_panics() {
+        let _ = model(Governor::Userspace(9.9));
+    }
+
+    #[test]
+    fn license_ordering() {
+        assert!(License::Normal < License::Avx2);
+        assert!(License::Avx2 < License::Avx512);
+        assert_eq!(License::Avx512.index(), 2);
+    }
+}

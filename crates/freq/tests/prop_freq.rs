@@ -1,0 +1,124 @@
+//! Property tests for the frequency model.
+
+use freq::{Activity, FreqModel, Governor, License, UncorePolicy};
+use proptest::prelude::*;
+use topology::{henri, CoreId, Preset};
+
+fn preset_strategy() -> impl Strategy<Value = Preset> {
+    prop_oneof![
+        Just(Preset::Henri),
+        Just(Preset::Bora),
+        Just(Preset::Billy),
+        Just(Preset::Pyxis),
+    ]
+}
+
+fn activity_strategy() -> impl Strategy<Value = Activity> {
+    prop_oneof![
+        Just(Activity::Idle),
+        Just(Activity::Light),
+        Just(Activity::Heavy(License::Normal)),
+        Just(Activity::Heavy(License::Avx2)),
+        Just(Activity::Heavy(License::Avx512)),
+    ]
+}
+
+proptest! {
+    /// Every frequency is within the machine's physical range under any
+    /// activity pattern.
+    #[test]
+    fn frequencies_within_range(
+        preset in preset_strategy(),
+        pattern in prop::collection::vec(activity_strategy(), 1..64),
+        turbo in any::<bool>(),
+    ) {
+        let spec = preset.spec();
+        let mut m = FreqModel::new(&spec, Governor::Performance { turbo }, UncorePolicy::Auto);
+        for (i, &act) in pattern.iter().enumerate() {
+            if (i as u32) < spec.core_count() {
+                m.set_activity(CoreId(i as u32), act);
+            }
+        }
+        let max_turbo = spec.turbo_table[0][0];
+        for c in 0..spec.core_count() {
+            let f = m.core_freq(CoreId(c));
+            prop_assert!(f >= spec.idle_freq.min(spec.min_freq) - 1e-9, "{} too low", f);
+            prop_assert!(f <= max_turbo + 1e-9, "{} above max turbo", f);
+        }
+        let u = m.uncore_freq();
+        prop_assert!(u >= spec.uncore_range.0 - 1e-9 && u <= spec.uncore_range.1 + 1e-9);
+    }
+
+    /// Adding heavy cores never *raises* any active core's frequency
+    /// (ladder monotonicity at the model level).
+    #[test]
+    fn adding_load_never_raises_frequency(
+        n_before in 1u32..17,
+        extra in 1u32..8,
+    ) {
+        let spec = henri();
+        let mut m = FreqModel::new(&spec, Governor::Performance { turbo: true }, UncorePolicy::Auto);
+        for c in 0..n_before {
+            m.set_activity(CoreId(c), Activity::Heavy(License::Normal));
+        }
+        let before = m.core_freq(CoreId(0));
+        for c in n_before..(n_before + extra).min(17) {
+            m.set_activity(CoreId(c), Activity::Heavy(License::Normal));
+        }
+        let after = m.core_freq(CoreId(0));
+        prop_assert!(after <= before + 1e-9, "{} -> {}", before, after);
+    }
+
+    /// Stricter licenses never raise the frequency at equal occupancy.
+    #[test]
+    fn stricter_license_never_faster(n in 1u32..18) {
+        let spec = henri();
+        let freq_for = |lic: License| {
+            let mut m = FreqModel::new(
+                &spec,
+                Governor::Performance { turbo: true },
+                UncorePolicy::Auto,
+            );
+            for c in 0..n {
+                m.set_activity(CoreId(c), Activity::Heavy(lic));
+            }
+            m.core_freq(CoreId(0))
+        };
+        let normal = freq_for(License::Normal);
+        let avx2 = freq_for(License::Avx2);
+        let avx512 = freq_for(License::Avx512);
+        prop_assert!(avx2 <= normal + 1e-9);
+        prop_assert!(avx512 <= avx2 + 1e-9);
+    }
+
+    /// Userspace pins everything regardless of activity.
+    #[test]
+    fn userspace_invariant(
+        pattern in prop::collection::vec(activity_strategy(), 1..36),
+        ghz in 1.0f64..2.3,
+    ) {
+        let spec = henri();
+        let mut m = FreqModel::new(&spec, Governor::Userspace(ghz), UncorePolicy::Fixed(2.4));
+        for (i, &act) in pattern.iter().enumerate() {
+            m.set_activity(CoreId(i as u32), act);
+        }
+        for c in 0..spec.core_count() {
+            prop_assert_eq!(m.core_freq(CoreId(c)), ghz);
+        }
+    }
+
+    /// heavy_total counts exactly the Heavy cores.
+    #[test]
+    fn heavy_total_is_exact(pattern in prop::collection::vec(activity_strategy(), 36)) {
+        let spec = henri();
+        let mut m = FreqModel::new(&spec, Governor::Performance { turbo: true }, UncorePolicy::Auto);
+        let mut expected = 0;
+        for (i, &act) in pattern.iter().enumerate() {
+            m.set_activity(CoreId(i as u32), act);
+            if matches!(act, Activity::Heavy(_)) {
+                expected += 1;
+            }
+        }
+        prop_assert_eq!(m.heavy_total(), expected);
+    }
+}

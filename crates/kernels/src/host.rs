@@ -1,0 +1,131 @@
+//! Host-side timed execution of the real kernels.
+//!
+//! The simulator predicts performance on the paper's clusters; this module
+//! *measures* the real kernels on the machine running the tests, so the
+//! flop/byte accounting behind the descriptors can be sanity-checked
+//! against actual hardware (and so the examples can show live numbers).
+
+use std::time::Instant;
+
+use crate::{gemm, stream, tunable};
+
+/// Result of a timed host run.
+#[derive(Clone, Copy, Debug)]
+pub struct HostMeasurement {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Bytes of memory traffic (descriptor accounting).
+    pub bytes: f64,
+    /// Floating-point operations (descriptor accounting).
+    pub flops: f64,
+}
+
+impl HostMeasurement {
+    /// Attained memory bandwidth, bytes/s.
+    pub fn bandwidth(&self) -> f64 {
+        self.bytes / self.seconds
+    }
+
+    /// Attained flop rate, flops/s.
+    pub fn flop_rate(&self) -> f64 {
+        self.flops / self.seconds
+    }
+
+    /// Arithmetic intensity, flop/B.
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / self.bytes
+        }
+    }
+}
+
+/// Time `reps` passes of STREAM TRIAD over `n` elements with `threads`
+/// host threads.
+pub fn time_triad(n: usize, reps: u32, threads: usize) -> HostMeasurement {
+    assert!(reps > 0);
+    let a: Vec<f64> = (0..n).map(|i| (i % 128) as f64).collect();
+    let b: Vec<f64> = (0..n).map(|i| (i % 64) as f64).collect();
+    let mut c = vec![0.0f64; n];
+    // Warm up once (page faults, caches).
+    stream::triad_parallel(&a, &b, 1.5, &mut c, threads);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        stream::triad_parallel(&a, &b, 1.5, &mut c, threads);
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    // Keep the result observable so the work cannot be elided.
+    assert!(c[n / 2].is_finite());
+    HostMeasurement {
+        seconds,
+        bytes: 24.0 * n as f64 * reps as f64,
+        flops: 2.0 * n as f64 * reps as f64,
+    }
+}
+
+/// Time `reps` passes of the tunable-intensity TRIAD (single thread).
+pub fn time_tunable(n: usize, cursor: u32, reps: u32) -> HostMeasurement {
+    assert!(reps > 0);
+    let a: Vec<f64> = (0..n).map(|i| (i % 128) as f64).collect();
+    let b: Vec<f64> = (0..n).map(|i| (i % 64) as f64).collect();
+    let mut c = vec![0.0f64; n];
+    tunable::triad_cursor(&a, &b, 0.5, &mut c, cursor);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        tunable::triad_cursor(&a, &b, 0.5, &mut c, cursor);
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    assert!(c[n / 2].is_finite());
+    HostMeasurement {
+        seconds,
+        bytes: 24.0 * n as f64 * reps as f64,
+        flops: 2.0 * cursor as f64 * n as f64 * reps as f64,
+    }
+}
+
+/// Time one blocked GEMM of size `n` (block `bs`).
+pub fn time_gemm(n: usize, bs: usize) -> HostMeasurement {
+    let a: Vec<f64> = (0..n * n).map(|i| ((i % 7) as f64) - 3.0).collect();
+    let b: Vec<f64> = (0..n * n).map(|i| ((i % 5) as f64) - 2.0).collect();
+    let mut c = vec![0.0f64; n * n];
+    let t0 = Instant::now();
+    gemm::gemm_blocked(n, n, n, &a, &b, &mut c, bs);
+    let seconds = t0.elapsed().as_secs_f64();
+    assert!(c[n * n / 2].is_finite());
+    HostMeasurement {
+        seconds,
+        bytes: gemm::tile_bytes(n),
+        flops: gemm::tile_flops(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triad_measurement_sane() {
+        let m = time_triad(100_000, 3, 2);
+        assert!(m.seconds > 0.0);
+        assert!(m.bandwidth() > 1e7, "bw {}", m.bandwidth());
+        assert!((m.intensity() - 1.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tunable_intensity_scales_with_cursor() {
+        let low = time_tunable(10_000, 1, 2);
+        let high = time_tunable(10_000, 64, 2);
+        assert!(high.intensity() > low.intensity() * 32.0);
+        // More work per element ⇒ more time (on any real machine).
+        assert!(high.seconds > low.seconds);
+    }
+
+    #[test]
+    fn gemm_measurement_sane() {
+        let m = time_gemm(64, 32);
+        assert!(m.seconds > 0.0);
+        assert!(m.flop_rate() > 1e6);
+        assert!(m.intensity() > 1.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Naive prime counting — the paper's CPU-bound benchmark (§3.2).
+//!
+//! "A computing benchmark counts in a very naive way the number of prime
+//! numbers in an interval. This forces the CPU to execute instructions
+//! which do not require any memory access (the algorithm uses only few
+//! integer variables)."
+
+use freq::License;
+use topology::NumaId;
+
+use crate::{single_phase, Workload};
+
+/// Naive primality test by trial division (deliberately unoptimized, like
+/// the paper's benchmark: no square-root bound shortcuts beyond the obvious
+/// one, no wheel).
+pub fn is_prime_naive(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut d = 2;
+    while d * d <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+/// Count primes in `[lo, hi)` naively. Returns `(count, divisions)` where
+/// `divisions` is the number of trial divisions executed — the work metric
+/// used to build the simulator descriptor.
+pub fn count_primes(lo: u64, hi: u64) -> (u64, u64) {
+    let mut count = 0;
+    let mut divisions = 0u64;
+    for n in lo..hi {
+        if n < 2 {
+            continue;
+        }
+        let mut prime = true;
+        let mut d = 2;
+        while d * d <= n {
+            divisions += 1;
+            if n % d == 0 {
+                prime = false;
+                break;
+            }
+            d += 1;
+        }
+        if prime {
+            count += 1;
+        }
+    }
+    (count, divisions)
+}
+
+/// Equivalent "flops" of one trial division in the simulator's accounting.
+/// An integer divide occupies the scalar pipe for many cycles; on the
+/// machines modelled a division costs roughly 6 flop-slots of issue width.
+pub const FLOPS_PER_DIVISION: f64 = 6.0;
+
+/// Workload descriptor for counting primes in `[lo, hi)`: pure compute, no
+/// memory traffic (the paper's point).
+pub fn workload(lo: u64, hi: u64, iterations: u64) -> Workload {
+    let (_, divisions) = count_primes(lo, hi);
+    single_phase(
+        "primes",
+        divisions as f64 * FLOPS_PER_DIVISION,
+        0.0,
+        NumaId(0),
+        License::Normal,
+        iterations,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes: Vec<u64> = (0..30).filter(|&n| is_prime_naive(n)).collect();
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+    }
+
+    #[test]
+    fn known_pi_values() {
+        // π(100) = 25, π(1000) = 168; the range excludes `hi`.
+        assert_eq!(count_primes(0, 100).0, 25);
+        assert_eq!(count_primes(0, 102).0, 26); // 101 is prime
+        assert_eq!(count_primes(0, 1000).0, 168);
+    }
+
+    #[test]
+    fn interval_counting() {
+        let (a, _) = count_primes(0, 500);
+        let (b, _) = count_primes(500, 1000);
+        let (all, _) = count_primes(0, 1000);
+        assert_eq!(a + b, all);
+    }
+
+    #[test]
+    fn divisions_grow_with_range() {
+        let (_, d1) = count_primes(0, 1000);
+        let (_, d2) = count_primes(0, 2000);
+        assert!(d2 > d1);
+    }
+
+    #[test]
+    fn workload_is_pure_compute() {
+        let w = workload(0, 10_000, 3);
+        assert_eq!(w.total_bytes(), 0.0);
+        assert!(w.total_flops() > 0.0);
+        assert!(w.intensity().is_infinite());
+    }
+}

@@ -1,0 +1,82 @@
+//! Roofline model helpers (Williams, Waterman, Patterson).
+//!
+//! The paper expresses memory pressure through arithmetic intensity and the
+//! roofline: attainable flops = min(peak flops, AI × memory bandwidth).
+//! These helpers compute machine balance points and predicted performance —
+//! used to locate the crossover of Figure 7 and to sanity-check the
+//! simulator against closed-form expectations.
+
+use topology::MachineSpec;
+
+/// Attainable flop rate under the roofline.
+pub fn attainable_flops(peak_flops: f64, mem_bw: f64, intensity: f64) -> f64 {
+    assert!(peak_flops >= 0.0 && mem_bw >= 0.0 && intensity >= 0.0);
+    (intensity * mem_bw).min(peak_flops)
+}
+
+/// Machine balance of one core: the intensity below which a single core is
+/// memory-bound (its own load/store bandwidth is the limit).
+pub fn core_balance(spec: &MachineSpec, freq_ghz: f64, license: usize) -> f64 {
+    spec.flop_rate(freq_ghz, license) / spec.per_core_bw
+}
+
+/// Contended balance: the intensity below which `cores` cores sharing one
+/// controller are collectively memory-bound. This is where the Figure 7
+/// crossover sits: for henri with 35 cores it lands around 6–7 flop/B.
+pub fn contended_balance(spec: &MachineSpec, freq_ghz: f64, license: usize, cores: u32) -> f64 {
+    assert!(cores > 0);
+    cores as f64 * spec.flop_rate(freq_ghz, license) / spec.mem_bw_per_numa
+}
+
+/// Time to execute `flops` at intensity `ai` on one core given an allocated
+/// memory bandwidth (closed-form roofline-with-contention prediction, for
+/// cross-checking the simulator).
+pub fn phase_time(flops: f64, ai: f64, peak_flops: f64, allocated_bw: f64) -> f64 {
+    assert!(ai > 0.0);
+    let bytes = flops / ai;
+    (flops / peak_flops).max(bytes / allocated_bw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::henri;
+
+    #[test]
+    fn roofline_kinks_at_balance() {
+        let peak = 10.0e9;
+        let bw = 5.0e9;
+        // Below balance (2 flop/B): memory-bound.
+        assert_eq!(attainable_flops(peak, bw, 1.0), 5.0e9);
+        // At balance.
+        assert_eq!(attainable_flops(peak, bw, 2.0), 10.0e9);
+        // Above: flat.
+        assert_eq!(attainable_flops(peak, bw, 8.0), 10.0e9);
+    }
+
+    #[test]
+    fn henri_crossover_matches_paper_ballpark() {
+        // Paper Figure 7: the boundary between memory- and CPU-bound is
+        // ≈ 6 flop/B on henri with 35 computing cores at base frequency.
+        let spec = henri();
+        let ai = contended_balance(&spec, 2.3, 0, 35);
+        assert!((4.0..10.0).contains(&ai), "crossover {}", ai);
+    }
+
+    #[test]
+    fn single_core_balance_below_contended() {
+        let spec = henri();
+        let solo = core_balance(&spec, 2.3, 0);
+        let many = contended_balance(&spec, 2.3, 0, 35);
+        assert!(solo < many);
+    }
+
+    #[test]
+    fn phase_time_regimes() {
+        // 1e9 flops at AI 1 on a 10 Gflop/s core with 2 GB/s allocated:
+        // memory-bound → 0.5 s.
+        assert_eq!(phase_time(1e9, 1.0, 10e9, 2e9), 0.5);
+        // With 100 GB/s allocated: compute-bound → 0.1 s.
+        assert_eq!(phase_time(1e9, 1.0, 10e9, 100e9), 0.1);
+    }
+}

@@ -1,0 +1,176 @@
+//! STREAM kernels (McCalpin): COPY and TRIAD.
+//!
+//! The paper produces memory contention with STREAM COPY
+//! (`b[i] ← a[i]`) and TRIAD (`c[i] ← a[i] + C·b[i]`) over large arrays,
+//! parallelized with OpenMP and allocated on a single NUMA node (§4.1).
+//!
+//! Byte accounting per element (8-byte doubles, write-allocate ignored as in
+//! classic STREAM counting):
+//!
+//! * COPY:  1 read + 1 write = 16 B, 0 flops
+//! * TRIAD: 2 reads + 1 write = 24 B, 2 flops (one multiply, one add)
+
+use freq::License;
+use memsim::exec::Phase;
+use topology::NumaId;
+
+use crate::Workload;
+
+/// Which STREAM kernel.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StreamKernel {
+    /// `b[i] ← a[i]`
+    Copy,
+    /// `c[i] ← a[i] + C·b[i]`
+    Triad,
+}
+
+impl StreamKernel {
+    /// Bytes moved per array element.
+    pub fn bytes_per_elem(self) -> f64 {
+        match self {
+            StreamKernel::Copy => 16.0,
+            StreamKernel::Triad => 24.0,
+        }
+    }
+
+    /// Flops per array element.
+    pub fn flops_per_elem(self) -> f64 {
+        match self {
+            StreamKernel::Copy => 0.0,
+            StreamKernel::Triad => 2.0,
+        }
+    }
+}
+
+/// Real COPY over slices. Returns the number of elements copied.
+pub fn copy(a: &[f64], b: &mut [f64]) -> usize {
+    assert_eq!(a.len(), b.len());
+    b.copy_from_slice(a);
+    a.len()
+}
+
+/// Real TRIAD: `c[i] = a[i] + scalar * b[i]`.
+pub fn triad(a: &[f64], b: &[f64], scalar: f64, c: &mut [f64]) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), c.len());
+    for i in 0..a.len() {
+        c[i] = a[i] + scalar * b[i];
+    }
+}
+
+/// Multi-threaded real TRIAD across `threads` host threads (the OpenMP
+/// parallel-for of the original benchmark). Splits the index space evenly.
+pub fn triad_parallel(a: &[f64], b: &[f64], scalar: f64, c: &mut [f64], threads: usize) {
+    assert!(threads > 0);
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), c.len());
+    let n = a.len();
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (ci, cc) in c.chunks_mut(chunk).enumerate() {
+            let lo = ci * chunk;
+            let ca = &a[lo..lo + cc.len()];
+            let cb = &b[lo..lo + cc.len()];
+            s.spawn(move |_| {
+                for i in 0..cc.len() {
+                    cc[i] = ca[i] + scalar * cb[i];
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+}
+
+/// Verify a TRIAD result (exactly representable inputs make this an equality
+/// check).
+pub fn verify_triad(a: &[f64], b: &[f64], scalar: f64, c: &[f64]) -> bool {
+    a.iter()
+        .zip(b)
+        .zip(c)
+        .all(|((&x, &y), &z)| z == x + scalar * y)
+}
+
+/// Workload descriptor: one STREAM pass of `elems` elements per core per
+/// iteration, data on `data` NUMA node.
+///
+/// STREAM is scalar-ish in the paper's build; wide vectors don't change its
+/// memory-bound behaviour, so the descriptor uses the Normal license.
+pub fn workload(kernel: StreamKernel, elems: usize, data: NumaId, iterations: u64) -> Workload {
+    Workload {
+        phases: vec![Phase {
+            flops: kernel.flops_per_elem() * elems as f64,
+            bytes: kernel.bytes_per_elem() * elems as f64,
+            data,
+            license: License::Normal,
+        }],
+        iterations,
+        name: match kernel {
+            StreamKernel::Copy => "stream-copy",
+            StreamKernel::Triad => "stream-triad",
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_copies() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut b = vec![0.0; 100];
+        assert_eq!(copy(&a, &mut b), 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn triad_matches_reference() {
+        let a: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..64).map(|i| (i * 2) as f64).collect();
+        let mut c = vec![0.0; 64];
+        triad(&a, &b, 3.0, &mut c);
+        assert!(verify_triad(&a, &b, 3.0, &c));
+        assert_eq!(c[10], 10.0 + 3.0 * 20.0);
+    }
+
+    #[test]
+    fn triad_parallel_equals_serial() {
+        let n = 1013; // deliberately not a multiple of the thread count
+        let a: Vec<f64> = (0..n).map(|i| (i % 97) as f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i % 31) as f64).collect();
+        let mut c1 = vec![0.0; n];
+        let mut c4 = vec![0.0; n];
+        triad(&a, &b, 2.5, &mut c1);
+        triad_parallel(&a, &b, 2.5, &mut c4, 4);
+        assert_eq!(c1, c4);
+    }
+
+    #[test]
+    fn triad_parallel_single_thread() {
+        let a = vec![1.0; 10];
+        let b = vec![2.0; 10];
+        let mut c = vec![0.0; 10];
+        triad_parallel(&a, &b, 0.5, &mut c, 1);
+        assert!(c.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn descriptor_intensities() {
+        let w = workload(StreamKernel::Triad, 1_000, NumaId(0), 1);
+        // TRIAD: 2 flops / 24 bytes = 1/12 flop/B — memory-bound.
+        assert!((w.intensity() - 1.0 / 12.0).abs() < 1e-12);
+        let w = workload(StreamKernel::Copy, 1_000, NumaId(0), 1);
+        assert_eq!(w.intensity(), 0.0);
+        assert_eq!(w.total_bytes(), 16_000.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let a = vec![0.0; 4];
+        let b = vec![0.0; 5];
+        let mut c = vec![0.0; 4];
+        triad(&a, &b, 1.0, &mut c);
+    }
+}

@@ -1,0 +1,122 @@
+//! The paper's tunable-arithmetic-intensity kernel (§4.5).
+//!
+//! A modified STREAM TRIAD: each array element is processed `cursor` times
+//! before moving to the next one. Few repetitions → the loop streams through
+//! memory (memory-bound); many repetitions → it spins on registers
+//! (CPU-bound). The *cursor* thus dials the arithmetic intensity:
+//!
+//! ```text
+//! intensity = 2·cursor flops / 24 bytes = cursor / 12  flop/B
+//! ```
+
+use freq::License;
+use memsim::exec::Phase;
+use topology::NumaId;
+
+use crate::Workload;
+
+/// Real implementation: TRIAD with `cursor` repeated multiply-adds per
+/// element. The repetition chain feeds back into the accumulator so the
+/// compiler cannot collapse it.
+pub fn triad_cursor(a: &[f64], b: &[f64], scalar: f64, c: &mut [f64], cursor: u32) {
+    assert!(cursor >= 1, "cursor must be at least 1");
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), c.len());
+    for i in 0..a.len() {
+        let mut acc = a[i];
+        for _ in 0..cursor {
+            acc = acc + scalar * b[i];
+        }
+        c[i] = acc;
+    }
+}
+
+/// Expected result of [`triad_cursor`] for one element.
+pub fn triad_cursor_reference(a: f64, b: f64, scalar: f64, cursor: u32) -> f64 {
+    let mut acc = a;
+    for _ in 0..cursor {
+        acc += scalar * b;
+    }
+    acc
+}
+
+/// Arithmetic intensity of the kernel at a given cursor (flop/B).
+pub fn intensity(cursor: u32) -> f64 {
+    2.0 * cursor as f64 / 24.0
+}
+
+/// Cursor needed to reach a target arithmetic intensity (rounded up).
+pub fn cursor_for_intensity(ai: f64) -> u32 {
+    assert!(ai > 0.0);
+    (ai * 12.0).ceil() as u32
+}
+
+/// Workload descriptor: one pass of `elems` elements with the given cursor.
+pub fn workload(elems: usize, cursor: u32, data: NumaId, iterations: u64) -> Workload {
+    assert!(cursor >= 1);
+    Workload {
+        phases: vec![Phase {
+            flops: 2.0 * cursor as f64 * elems as f64,
+            bytes: 24.0 * elems as f64,
+            data,
+            license: License::Normal,
+        }],
+        iterations,
+        name: "tunable-triad",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_one_is_plain_triad() {
+        let a: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..32).map(|i| (i + 1) as f64).collect();
+        let mut c1 = vec![0.0; 32];
+        let mut c2 = vec![0.0; 32];
+        triad_cursor(&a, &b, 2.0, &mut c1, 1);
+        crate::stream::triad(&a, &b, 2.0, &mut c2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn cursor_accumulates() {
+        let a = [1.0];
+        let b = [2.0];
+        let mut c = [0.0];
+        triad_cursor(&a, &b, 0.5, &mut c, 4);
+        // 1 + 4 × (0.5 × 2) = 5
+        assert_eq!(c[0], 5.0);
+        assert_eq!(c[0], triad_cursor_reference(1.0, 2.0, 0.5, 4));
+    }
+
+    #[test]
+    fn intensity_roundtrip() {
+        for cursor in [1u32, 3, 12, 72, 240] {
+            let ai = intensity(cursor);
+            assert!(cursor_for_intensity(ai) <= cursor + 1);
+            assert!(cursor_for_intensity(ai) >= cursor);
+        }
+        // Paper's crossover: 6 flop/B needs cursor 72.
+        assert_eq!(cursor_for_intensity(6.0), 72);
+    }
+
+    #[test]
+    fn workload_intensity_matches_formula() {
+        for cursor in [1u32, 10, 100] {
+            let w = workload(1000, cursor, NumaId(0), 1);
+            assert!((w.intensity() - intensity(cursor)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cursor")]
+    fn zero_cursor_rejected() {
+        let a = [0.0];
+        let b = [0.0];
+        let mut c = [0.0];
+        triad_cursor(&a, &b, 1.0, &mut c, 0);
+    }
+}

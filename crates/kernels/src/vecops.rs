@@ -1,0 +1,128 @@
+//! AVX-class vector burn kernel (§3.3) and small dense linear-algebra
+//! vector operations shared by the CG solver.
+//!
+//! The paper's AVX experiment runs "a set of multiple AVX512 floating
+//! instructions" per core (weak scaling: every core does the same amount of
+//! work) — a register-resident FMA chain with no memory traffic. Its only
+//! observable effect is through frequency licensing.
+
+use freq::License;
+use topology::NumaId;
+
+use crate::{single_phase, Workload};
+
+/// Real FMA burn: `iters` fused multiply-adds over a small register-resident
+/// accumulator array (8 lanes ≈ one ZMM register). Returns the accumulator
+/// sum so the work cannot be optimized away.
+pub fn fma_burn(iters: u64) -> f64 {
+    let mut acc = [1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+    let m = 1.000000001f64;
+    let a = 1e-9f64;
+    for _ in 0..iters {
+        for lane in &mut acc {
+            *lane = lane.mul_add(m, a);
+        }
+    }
+    acc.iter().sum()
+}
+
+/// Workload descriptor for the AVX experiment: `flops` of pure compute under
+/// the given license. Weak scaling is achieved by giving each core the same
+/// descriptor.
+pub fn avx_workload(flops: f64, license: License, iterations: u64) -> Workload {
+    single_phase("avx-burn", flops, 0.0, NumaId(0), license, iterations)
+}
+
+// ---- dense vector ops (used by the CG solver) ----
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y ← a·x + y`.
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for i in 0..x.len() {
+        y[i] += a * x[i];
+    }
+}
+
+/// `y ← x + b·y` (the "xpby" update used by CG's direction vector).
+pub fn xpby(x: &[f64], b: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for i in 0..x.len() {
+        y[i] = x[i] + b * y[i];
+    }
+}
+
+/// Dense symmetric matrix–vector product `y ← A·x` (row-major `n×n`).
+pub fn gemv(a: &[f64], x: &[f64], y: &mut [f64]) {
+    let n = x.len();
+    assert_eq!(a.len(), n * n);
+    assert_eq!(y.len(), n);
+    for (i, yi) in y.iter_mut().enumerate() {
+        let row = &a[i * n..(i + 1) * n];
+        *yi = dot(row, x);
+    }
+}
+
+/// Euclidean norm.
+pub fn norm2(v: &[f64]) -> f64 {
+    dot(v, v).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fma_burn_is_finite_and_deterministic() {
+        let a = fma_burn(10_000);
+        let b = fma_burn(10_000);
+        assert!(a.is_finite());
+        assert_eq!(a, b);
+        assert!(a > 36.0); // started at Σ=36, strictly growing
+    }
+
+    #[test]
+    fn avx_descriptor_pure_compute() {
+        let w = avx_workload(1e9, License::Avx512, 5);
+        assert_eq!(w.total_bytes(), 0.0);
+        assert_eq!(w.total_flops(), 5e9);
+        assert_eq!(w.phases[0].license, License::Avx512);
+    }
+
+    #[test]
+    fn dot_axpy_xpby() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        assert_eq!(dot(&a, &b), 32.0);
+        let mut y = [1.0, 1.0, 1.0];
+        axpy(2.0, &a, &mut y);
+        assert_eq!(y, [3.0, 5.0, 7.0]);
+        let mut y2 = [1.0, 1.0, 1.0];
+        xpby(&a, 10.0, &mut y2);
+        assert_eq!(y2, [11.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn gemv_identity() {
+        let n = 4;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let mut y = [0.0; 4];
+        gemv(&a, &x, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn norm_of_unit_vectors() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm2(&[0.0, 0.0]), 0.0);
+    }
+}

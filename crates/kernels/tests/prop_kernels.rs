@@ -1,0 +1,128 @@
+//! Property tests for the real kernels and their descriptors.
+
+use kernels::{cg, gemm, primes, stream, tunable, vecops};
+use proptest::prelude::*;
+use simcore::Pcg32;
+use topology::NumaId;
+
+proptest! {
+    /// TRIAD is exact on exactly-representable inputs (integers with a
+    /// power-of-two scalar) and parallel execution equals serial.
+    #[test]
+    fn triad_parallel_equals_serial(
+        n in 1usize..600,
+        threads in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Pcg32::new(seed, 0);
+        let a: Vec<f64> = (0..n).map(|_| rng.below(1000) as f64).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.below(1000) as f64).collect();
+        let mut c1 = vec![0.0; n];
+        let mut c2 = vec![0.0; n];
+        stream::triad(&a, &b, 2.0, &mut c1);
+        stream::triad_parallel(&a, &b, 2.0, &mut c2, threads);
+        prop_assert_eq!(&c1, &c2);
+        prop_assert!(stream::verify_triad(&a, &b, 2.0, &c1));
+    }
+
+    /// Cursor-kernel result matches the per-element reference for random
+    /// inputs and cursors.
+    #[test]
+    fn cursor_matches_reference(
+        n in 1usize..100,
+        cursor in 1u32..50,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Pcg32::new(seed, 1);
+        let a: Vec<f64> = (0..n).map(|_| rng.uniform(-4.0, 4.0)).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.uniform(-4.0, 4.0)).collect();
+        let s = 0.5;
+        let mut c = vec![0.0; n];
+        tunable::triad_cursor(&a, &b, s, &mut c, cursor);
+        for i in 0..n {
+            let expect = tunable::triad_cursor_reference(a[i], b[i], s, cursor);
+            prop_assert!((c[i] - expect).abs() < 1e-12);
+        }
+    }
+
+    /// Intensity/cursor conversions roundtrip.
+    #[test]
+    fn intensity_cursor_roundtrip(cursor in 1u32..10_000) {
+        let ai = tunable::intensity(cursor);
+        let back = tunable::cursor_for_intensity(ai);
+        prop_assert!(back == cursor || back == cursor + 1);
+    }
+
+    /// Blocked GEMM equals naive GEMM for arbitrary shapes and block sizes.
+    #[test]
+    fn gemm_blocked_equals_naive(
+        m in 1usize..12,
+        n in 1usize..12,
+        k in 1usize..12,
+        bs in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Pcg32::new(seed, 2);
+        let a: Vec<f64> = (0..m * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b: Vec<f64> = (0..k * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        gemm::gemm_naive(m, n, k, &a, &b, &mut c1);
+        gemm::gemm_blocked(m, n, k, &a, &b, &mut c2, bs);
+        for (x, y) in c1.iter().zip(&c2) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    /// CG converges on random diagonally-dominant SPD systems and the
+    /// returned x truly solves the system.
+    #[test]
+    fn cg_converges_and_solves(n in 2usize..24, seed in any::<u64>()) {
+        let mut rng = Pcg32::new(seed, 3);
+        let a = cg::random_spd(n, &mut rng);
+        let b: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let r = cg::solve(&a, &b, 1e-10, 20 * n);
+        prop_assert!(r.converged, "residual {}", r.residual);
+        // Independent residual check via gemv.
+        let mut ax = vec![0.0; n];
+        vecops::gemv(&a, &r.x, &mut ax);
+        let res: f64 = b.iter().zip(&ax).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt();
+        prop_assert!(res < 1e-6, "true residual {}", res);
+    }
+
+    /// Prime counting is interval-additive and matches the naive
+    /// per-number test.
+    #[test]
+    fn primes_interval_additive(lo in 0u64..2000, len1 in 1u64..500, len2 in 1u64..500) {
+        let mid = lo + len1;
+        let hi = mid + len2;
+        let (a, _) = primes::count_primes(lo, mid);
+        let (b, _) = primes::count_primes(mid, hi);
+        let (all, _) = primes::count_primes(lo, hi);
+        prop_assert_eq!(a + b, all);
+        // Spot check against is_prime_naive.
+        let direct = (lo..hi).filter(|&x| primes::is_prime_naive(x)).count() as u64;
+        prop_assert_eq!(all, direct);
+    }
+
+    /// Descriptor totals scale linearly in iterations and elements.
+    #[test]
+    fn descriptor_linearity(elems in 1usize..100_000, iters in 1u64..16) {
+        let w1 = stream::workload(stream::StreamKernel::Triad, elems, NumaId(0), 1);
+        let wn = stream::workload(stream::StreamKernel::Triad, elems, NumaId(0), iters);
+        prop_assert!((wn.total_bytes() - w1.total_bytes() * iters as f64).abs() < 1e-6);
+        prop_assert!((wn.total_flops() - w1.total_flops() * iters as f64).abs() < 1e-6);
+        // Intensity is independent of scale.
+        prop_assert!((wn.intensity() - w1.intensity()).abs() < 1e-12);
+    }
+
+    /// GEMM tile model: flops cubic, bytes quadratic, intensity linear.
+    #[test]
+    fn gemm_tile_scaling(b in 8usize..512) {
+        prop_assert!((gemm::tile_flops(2 * b) / gemm::tile_flops(b) - 8.0).abs() < 1e-9);
+        prop_assert!((gemm::tile_bytes(2 * b) / gemm::tile_bytes(b) - 4.0).abs() < 1e-9);
+        prop_assert!(
+            (gemm::tile_intensity(2 * b) / gemm::tile_intensity(b) - 2.0).abs() < 1e-9
+        );
+    }
+}

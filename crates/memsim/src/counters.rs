@@ -1,0 +1,134 @@
+//! Simulated PMU counters.
+//!
+//! The paper reads hardware counters via `pmu-tools`/`perf` to attribute CPU
+//! stalls to memory accesses (Figure 10's bottom plot). The simulator keeps
+//! the equivalent books directly: bytes delivered per memory controller,
+//! utilization integrals and per-job stall seconds (in
+//! [`crate::exec::JobStats`]). [`MemCounters`] snapshots the
+//! controller/link-level view so experiments can difference two snapshots
+//! around a measured region.
+
+use simcore::Engine;
+use topology::NumaId;
+
+use crate::MemSystem;
+
+/// Snapshot of the memory system's cumulative counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MemCounters {
+    /// Bytes delivered by each NUMA node's controller.
+    pub controller_bytes: Vec<f64>,
+    /// Utilization integral (seconds at 100 %) per controller.
+    pub controller_busy_s: Vec<f64>,
+    /// Bytes over the inter-socket links `[0→1, 1→0]`.
+    pub upi_bytes: [f64; 2],
+}
+
+impl MemCounters {
+    /// Take a snapshot.
+    pub fn snapshot(engine: &Engine, mem: &MemSystem) -> MemCounters {
+        let n = mem.spec().numa_count();
+        MemCounters {
+            controller_bytes: (0..n)
+                .map(|i| engine.delivered(mem.controller(NumaId(i))))
+                .collect(),
+            controller_busy_s: (0..n)
+                .map(|i| engine.busy_integral(mem.controller(NumaId(i))))
+                .collect(),
+            upi_bytes: [
+                engine.delivered(mem.upi_dir(topology::SocketId(0), topology::SocketId(1))),
+                engine.delivered(mem.upi_dir(topology::SocketId(1), topology::SocketId(0))),
+            ],
+        }
+    }
+
+    /// Counter deltas between two snapshots (self = later).
+    pub fn since(&self, earlier: &MemCounters) -> MemCounters {
+        MemCounters {
+            controller_bytes: self
+                .controller_bytes
+                .iter()
+                .zip(&earlier.controller_bytes)
+                .map(|(a, b)| a - b)
+                .collect(),
+            controller_busy_s: self
+                .controller_busy_s
+                .iter()
+                .zip(&earlier.controller_busy_s)
+                .map(|(a, b)| a - b)
+                .collect(),
+            upi_bytes: [
+                self.upi_bytes[0] - earlier.upi_bytes[0],
+                self.upi_bytes[1] - earlier.upi_bytes[1],
+            ],
+        }
+    }
+
+    /// Total bytes through all controllers.
+    pub fn total_bytes(&self) -> f64 {
+        self.controller_bytes.iter().sum()
+    }
+
+    /// Mean controller utilization over a window of `dt` seconds.
+    pub fn mean_utilization(&self, numa: NumaId, dt: f64) -> f64 {
+        if dt <= 0.0 {
+            0.0
+        } else {
+            (self.controller_busy_s[numa.0 as usize] / dt).clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::FlowSpec;
+    use topology::henri;
+
+    #[test]
+    fn snapshot_and_delta() {
+        let mut e = Engine::new();
+        let m = MemSystem::build(&mut e, &henri(), "n0.");
+        let before = MemCounters::snapshot(&e, &m);
+        assert_eq!(before.total_bytes(), 0.0);
+
+        // Push 10 GB through controller 0 at its full 45 GB/s.
+        e.start_flow(FlowSpec {
+            path: vec![m.controller(NumaId(0))],
+            volume: 10.0e9,
+            weight: 1.0,
+            cap: None,
+            tag: 1,
+        });
+        while e.next().is_some() {}
+        let after = MemCounters::snapshot(&e, &m);
+        let d = after.since(&before);
+        assert!((d.controller_bytes[0] - 10.0e9).abs() < 1.0);
+        assert_eq!(d.controller_bytes[1], 0.0);
+        assert!((d.total_bytes() - 10.0e9).abs() < 1.0);
+        // Ran at 100 % for 10/45 s.
+        let dt = 10.0 / 45.0;
+        assert!((d.controller_busy_s[0] - dt).abs() < 1e-9);
+        assert!((d.mean_utilization(NumaId(0), dt) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upi_traffic_counted() {
+        let mut e = Engine::new();
+        let m = MemSystem::build(&mut e, &henri(), "n0.");
+        // Remote read: core 0 (socket 0) from NUMA 3 (socket 1).
+        let path = m.path(crate::Requester::Core(topology::CoreId(0)), NumaId(3));
+        e.start_flow(FlowSpec {
+            path,
+            volume: 1.0e9,
+            weight: 1.0,
+            cap: None,
+            tag: 1,
+        });
+        while e.next().is_some() {}
+        let c = MemCounters::snapshot(&e, &m);
+        // socket1 → socket0 direction carries the bytes.
+        assert!((c.upi_bytes[1] - 1.0e9).abs() < 1.0);
+        assert_eq!(c.upi_bytes[0], 0.0);
+    }
+}

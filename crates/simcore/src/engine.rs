@@ -1,0 +1,490 @@
+//! The discrete-event engine: time, timers and fluid flows.
+//!
+//! Domain layers (memory system, NIC, runtime…) schedule **timers** (fixed
+//! latencies: wire time, handshakes, governor ticks, polling backoff) and
+//! start **flows** (bandwidth-shared transfers). The engine interleaves both
+//! kinds of events in global time order and hands back completion events
+//! tagged with opaque `u64` tags. Tags are namespaced per subsystem (high
+//! bits identify the owner) so a single driver loop can dispatch them.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::fluid::{FlowId, FlowReport, FlowSpec, FluidNet, ResourceId};
+use crate::time::SimTime;
+
+/// Identifies a scheduled timer. Ids are never reused.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct TimerId(u64);
+
+/// A completion event returned by [`Engine::next`].
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// A timer fired.
+    Timer {
+        /// The tag it was scheduled with.
+        tag: u64,
+    },
+    /// A flow transferred its whole volume.
+    Flow {
+        /// The tag it was started with.
+        tag: u64,
+        /// Timing/stall report.
+        report: FlowReport,
+    },
+}
+
+impl Event {
+    /// The tag regardless of event kind.
+    pub fn tag(&self) -> u64 {
+        match self {
+            Event::Timer { tag } => *tag,
+            Event::Flow { tag, .. } => *tag,
+        }
+    }
+}
+
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct TimerEntry {
+    deadline: SimTime,
+    seq: u64,
+    id: TimerId,
+    tag: u64,
+}
+
+/// The simulation engine. See module docs.
+pub struct Engine {
+    now: SimTime,
+    net: FluidNet,
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    cancelled: Vec<TimerId>,
+    next_timer: u64,
+    seq: u64,
+    /// Completed flows not yet handed out (a single `elapse` can finish
+    /// several flows at the same instant).
+    pending: Vec<Event>,
+}
+
+impl Engine {
+    /// Create an empty engine at time zero.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            net: FluidNet::new(),
+            timers: BinaryHeap::new(),
+            cancelled: Vec::new(),
+            next_timer: 0,
+            seq: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    // ---- resources ----
+
+    /// Add a resource with the given capacity (units/s).
+    pub fn add_resource(&mut self, name: impl Into<String>, capacity: f64) -> ResourceId {
+        self.net.add_resource(name, capacity)
+    }
+
+    /// Change a resource's capacity (frequency scaling).
+    pub fn set_capacity(&mut self, r: ResourceId, capacity: f64) {
+        self.net.set_capacity(r, capacity);
+    }
+
+    /// Current capacity of a resource.
+    pub fn capacity(&self, r: ResourceId) -> f64 {
+        self.net.capacity(r)
+    }
+
+    /// Utilization of `r` under the current allocation, in [0,1].
+    pub fn utilization(&mut self, r: ResourceId) -> f64 {
+        self.refresh();
+        self.net.utilization(r)
+    }
+
+    /// Offered demand on `r` (can exceed capacity under contention).
+    pub fn demand(&mut self, r: ResourceId) -> f64 {
+        self.refresh();
+        self.net.demand(r)
+    }
+
+    /// Cumulative units delivered through `r` since the start of the run.
+    pub fn delivered(&self, r: ResourceId) -> f64 {
+        self.net.delivered(r)
+    }
+
+    /// Integral of utilization of `r` (seconds at 100 %).
+    pub fn busy_integral(&self, r: ResourceId) -> f64 {
+        self.net.busy_integral(r)
+    }
+
+    // ---- flows ----
+
+    /// Start a bandwidth-shared flow.
+    pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
+        self.net.start_flow(spec)
+    }
+
+    /// Change a flow's rate cap (roofline bound moved with frequency).
+    pub fn set_flow_cap(&mut self, id: FlowId, cap: Option<f64>) {
+        self.net.set_flow_cap(id, cap);
+    }
+
+    /// Cancel a flow before completion, returning its progress report.
+    pub fn cancel_flow(&mut self, id: FlowId) -> Option<FlowReport> {
+        self.net.cancel_flow(id)
+    }
+
+    /// Current rate of a flow (refreshing the allocation if needed).
+    pub fn flow_rate(&mut self, id: FlowId) -> Option<f64> {
+        self.refresh();
+        self.net.flow_rate(id)
+    }
+
+    /// Number of currently active flows.
+    pub fn active_flows(&self) -> usize {
+        self.net.active_flows()
+    }
+
+    // ---- timers ----
+
+    /// Schedule `tag` to fire after `delay`.
+    pub fn after(&mut self, delay: SimTime, tag: u64) -> TimerId {
+        self.at(self.now + delay, tag)
+    }
+
+    /// Schedule `tag` to fire at absolute time `deadline` (>= now).
+    pub fn at(&mut self, deadline: SimTime, tag: u64) -> TimerId {
+        debug_assert!(deadline >= self.now, "timer in the past");
+        let id = TimerId(self.next_timer);
+        self.next_timer += 1;
+        self.seq += 1;
+        self.timers.push(Reverse(TimerEntry {
+            deadline,
+            seq: self.seq,
+            id,
+            tag,
+        }));
+        id
+    }
+
+    /// Cancel a timer. Harmless if already fired.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.cancelled.push(id);
+    }
+
+    fn refresh(&mut self) {
+        if self.net.is_dirty() {
+            self.net.reallocate();
+        }
+    }
+
+    /// Advance to and return the next completion event, or `None` when the
+    /// simulation has run dry (no timers, no active flows).
+    pub fn next(&mut self) -> Option<Event> {
+        loop {
+            if let Some(ev) = self.pending.pop() {
+                return Some(ev);
+            }
+            self.refresh();
+
+            // Earliest timer, skipping cancelled ones.
+            let timer_deadline = loop {
+                match self.timers.peek() {
+                    Some(Reverse(e)) if self.cancelled.contains(&e.id) => {
+                        let e = self.timers.pop().expect("peeked").0;
+                        self.cancelled.retain(|&c| c != e.id);
+                    }
+                    Some(Reverse(e)) => break Some(e.deadline),
+                    None => break None,
+                }
+            };
+
+            let flow_dt = self.net.time_to_next_completion();
+            let flow_deadline = flow_dt.map(|dt| {
+                // Guarantee progress: float residue can make `dt` round to
+                // zero picoseconds, which would spin the loop forever.
+                let step = SimTime::from_secs_f64(dt).max(SimTime::PS);
+                self.now.checked_add(step).unwrap_or(SimTime::MAX)
+            });
+
+            let target = match (timer_deadline, flow_deadline) {
+                // Only "endless" flows remain (background polling traffic
+                // whose completion horizon saturates SimTime): the
+                // simulation is effectively dry.
+                (None, Some(f)) if f == SimTime::MAX => return None,
+                (None, None) => {
+                    // Dry: if flows exist but are all stalled (rate 0), this
+                    // is a deadlock in the model — surface it loudly.
+                    assert!(
+                        self.net.active_flows() == 0,
+                        "simulation deadlock: {} flows active but none progressing",
+                        self.net.active_flows()
+                    );
+                    return None;
+                }
+                (Some(t), None) => t,
+                (None, Some(f)) => f,
+                (Some(t), Some(f)) => t.min(f),
+            };
+
+            let dt = (target - self.now).as_secs_f64();
+            let done = self.net.elapse(dt);
+            self.now = target;
+            // Queue flow completions (reverse so pop() yields id order).
+            for rep in done.into_iter().rev() {
+                self.pending.push(Event::Flow {
+                    tag: rep.tag,
+                    report: rep,
+                });
+            }
+            // Fire timers due at this instant (in schedule order).
+            // Only fire timers if no flow completed strictly earlier — here
+            // target is the min, so all due timers share this instant.
+            let mut fired = Vec::new();
+            while let Some(Reverse(e)) = self.timers.peek() {
+                if e.deadline > self.now {
+                    break;
+                }
+                let e = self.timers.pop().expect("peeked").0;
+                if let Some(pos) = self.cancelled.iter().position(|&c| c == e.id) {
+                    self.cancelled.swap_remove(pos);
+                    continue;
+                }
+                fired.push(Event::Timer { tag: e.tag });
+            }
+            // Deliver flow completions before timers at the same instant:
+            // pending is a LIFO, so push timers first… we want flows first.
+            // pending currently holds flows (reversed). Insert timers *below*
+            // them so flows pop first.
+            if !fired.is_empty() {
+                let flows = std::mem::take(&mut self.pending);
+                for ev in fired.into_iter().rev() {
+                    self.pending.push(ev);
+                }
+                self.pending.extend(flows);
+            }
+            if self.pending.is_empty() {
+                // Nothing completed (capacity change rescheduling, or all
+                // events cancelled) — loop again.
+                continue;
+            }
+        }
+    }
+
+    /// Run until dry, invoking `handler` for each event. The handler gets
+    /// `&mut Engine` to schedule follow-up work.
+    pub fn run<F: FnMut(&mut Engine, Event)>(&mut self, mut handler: F) {
+        while let Some(ev) = self.next() {
+            handler(self, ev);
+        }
+    }
+
+    /// Run until the given deadline (events at exactly `deadline` included).
+    pub fn run_until<F: FnMut(&mut Engine, Event)>(&mut self, deadline: SimTime, mut handler: F) {
+        while let Some(ev) = self.peek_deadline(deadline) {
+            handler(self, ev);
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Internal: like `next` but never advances past `deadline`.
+    fn peek_deadline(&mut self, deadline: SimTime) -> Option<Event> {
+        // Cheap approach: schedule a sentinel timer at the deadline.
+        const SENTINEL: u64 = u64::MAX;
+        let id = self.at(deadline, SENTINEL);
+        let ev = self.next();
+        match ev {
+            Some(Event::Timer { tag: SENTINEL }) => None,
+            Some(other) => {
+                self.cancel_timer(id);
+                Some(other)
+            }
+            None => {
+                self.cancel_timer(id);
+                None
+            }
+        }
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut e = Engine::new();
+        e.after(SimTime::from_micros(5), 5);
+        e.after(SimTime::from_micros(1), 1);
+        e.after(SimTime::from_micros(3), 3);
+        let mut seen = Vec::new();
+        e.run(|eng, ev| {
+            seen.push((eng.now().as_micros_f64().round() as u64, ev.tag()));
+        });
+        assert_eq!(seen, vec![(1, 1), (3, 3), (5, 5)]);
+    }
+
+    #[test]
+    fn same_instant_timers_fifo() {
+        let mut e = Engine::new();
+        e.after(SimTime::from_micros(1), 10);
+        e.after(SimTime::from_micros(1), 20);
+        let mut seen = Vec::new();
+        e.run(|_, ev| seen.push(ev.tag()));
+        assert_eq!(seen, vec![10, 20]);
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        let mut e = Engine::new();
+        let id = e.after(SimTime::from_micros(1), 1);
+        e.after(SimTime::from_micros(2), 2);
+        e.cancel_timer(id);
+        let mut seen = Vec::new();
+        e.run(|_, ev| seen.push(ev.tag()));
+        assert_eq!(seen, vec![2]);
+    }
+
+    #[test]
+    fn flow_completion_time() {
+        let mut e = Engine::new();
+        let r = e.add_resource("bus", 100.0);
+        e.start_flow(FlowSpec {
+            path: vec![r],
+            volume: 250.0,
+            weight: 1.0,
+            cap: None,
+            tag: 7,
+        });
+        let ev = e.next().expect("one event");
+        assert_eq!(ev.tag(), 7);
+        assert!((e.now().as_secs_f64() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flow_and_timer_interleave() {
+        let mut e = Engine::new();
+        let r = e.add_resource("bus", 1.0);
+        e.start_flow(FlowSpec {
+            path: vec![r],
+            volume: 2.0,
+            weight: 1.0,
+            cap: None,
+            tag: 100,
+        });
+        e.after(SimTime::SEC, 1);
+        e.after(SimTime::SEC * 3, 3);
+        let mut seen = Vec::new();
+        e.run(|eng, ev| seen.push((eng.now().as_secs_f64().round() as u64, ev.tag())));
+        assert_eq!(seen, vec![(1, 1), (2, 100), (3, 3)]);
+    }
+
+    #[test]
+    fn capacity_change_mid_flow() {
+        let mut e = Engine::new();
+        let r = e.add_resource("bus", 10.0);
+        e.start_flow(FlowSpec {
+            path: vec![r],
+            volume: 100.0,
+            weight: 1.0,
+            cap: None,
+            tag: 1,
+        });
+        // At t=1s halve the capacity.
+        e.after(SimTime::SEC, 99);
+        let ev = e.next().unwrap();
+        assert_eq!(ev.tag(), 99);
+        e.set_capacity(r, 5.0);
+        let ev = e.next().unwrap();
+        assert_eq!(ev.tag(), 1);
+        // 10 units in first second, remaining 90 at 5/s = 18 s. Total 19 s.
+        assert!((e.now().as_secs_f64() - 19.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flows_before_timers_at_same_instant() {
+        let mut e = Engine::new();
+        let r = e.add_resource("bus", 1.0);
+        e.start_flow(FlowSpec {
+            path: vec![r],
+            volume: 1.0,
+            weight: 1.0,
+            cap: None,
+            tag: 100,
+        });
+        e.after(SimTime::SEC, 1);
+        let mut seen = Vec::new();
+        e.run(|_, ev| seen.push(ev.tag()));
+        assert_eq!(seen, vec![100, 1]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut e = Engine::new();
+        e.after(SimTime::SEC, 1);
+        e.after(SimTime::SEC * 5, 5);
+        let mut seen = Vec::new();
+        e.run_until(SimTime::SEC * 2, |_, ev| seen.push(ev.tag()));
+        assert_eq!(seen, vec![1]);
+        assert_eq!(e.now(), SimTime::SEC * 2);
+        // The later timer still fires afterwards.
+        let ev = e.next().unwrap();
+        assert_eq!(ev.tag(), 5);
+    }
+
+    #[test]
+    fn dry_run_returns_none() {
+        let mut e = Engine::new();
+        assert!(e.next().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn stalled_flow_is_a_deadlock() {
+        let mut e = Engine::new();
+        let r = e.add_resource("off", 0.0);
+        e.start_flow(FlowSpec {
+            path: vec![r],
+            volume: 1.0,
+            weight: 1.0,
+            cap: None,
+            tag: 1,
+        });
+        let _ = e.next();
+    }
+
+    #[test]
+    fn simultaneous_flow_completions_all_delivered() {
+        let mut e = Engine::new();
+        let r = e.add_resource("bus", 10.0);
+        for tag in 0..3 {
+            e.start_flow(FlowSpec {
+                path: vec![r],
+                volume: 30.0,
+                weight: 1.0,
+                cap: None,
+                tag,
+            });
+        }
+        let mut seen = Vec::new();
+        e.run(|_, ev| seen.push(ev.tag()));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+        // 3 flows × 30 units over 10 units/s aggregate = 9 s.
+        assert!((e.now().as_secs_f64() - 9.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,33 @@
+//! # simcore — discrete-event fluid simulation engine
+//!
+//! The foundation of the interference study: a deterministic discrete-event
+//! engine whose central abstraction is **fluid bandwidth sharing**. Shared
+//! hardware (memory controllers, NUMA links, NIC, network wire, core cycle
+//! budgets) are *resources*; ongoing transfers and compute phases are *flows*
+//! allocated by weighted max-min fairness. Fixed latencies are *timers*.
+//!
+//! Everything is deterministic given a seed; run-to-run variance (the decile
+//! bands in the paper's figures) comes from explicit jitter streams
+//! ([`rng::JitterFamily`]).
+//!
+//! See `DESIGN.md` at the workspace root for how this engine substitutes for
+//! the paper's physical clusters.
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)]
+
+pub mod engine;
+pub mod fluid;
+pub mod rng;
+pub mod stats;
+pub mod tags;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Engine, Event, TimerId};
+pub use fluid::{FlowId, FlowReport, FlowSpec, FluidNet, ResourceId};
+pub use rng::{JitterFamily, Pcg32, SplitMix64};
+pub use stats::{quantile, Series, SeriesPoint, Summary};
+pub use tags::{kind_index, namespace, payload, split_kind_index, tag};
+pub use time::SimTime;
+pub use trace::Trace;

@@ -1,0 +1,201 @@
+//! Time-series tracing.
+//!
+//! Figure 2 and Figures 3b/3c of the paper plot *per-core frequency traces
+//! over time*. [`Trace`] records piecewise-constant signals (frequency,
+//! utilization, queue depth…) as `(time, value)` steps and can resample them
+//! on a regular grid for plotting or averaging.
+
+use crate::time::SimTime;
+
+/// A piecewise-constant signal sampled at change points.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    name: String,
+    steps: Vec<(SimTime, f64)>,
+}
+
+impl Trace {
+    /// Create an empty trace.
+    pub fn new(name: impl Into<String>) -> Trace {
+        Trace {
+            name: name.into(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Name the trace was created with.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Record that the signal takes `value` from time `t` on. Out-of-order
+    /// records are rejected; re-recording the same value is a no-op.
+    pub fn record(&mut self, t: SimTime, value: f64) {
+        if let Some(&(last_t, last_v)) = self.steps.last() {
+            assert!(t >= last_t, "trace records must be time-ordered");
+            if last_v == value {
+                return;
+            }
+            if last_t == t {
+                // Same-instant overwrite.
+                self.steps.pop();
+            }
+        }
+        self.steps.push((t, value));
+    }
+
+    /// True if nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Value at time `t` (the last recorded step at or before `t`).
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        match self.steps.binary_search_by(|&(st, _)| st.cmp(&t)) {
+            Ok(i) => Some(self.steps[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.steps[i - 1].1),
+        }
+    }
+
+    /// Resample on a regular grid from `start` to `end` (inclusive) with the
+    /// given step, yielding `(t, value)` pairs. Times before the first record
+    /// yield the first recorded value (or are skipped if the trace is empty).
+    pub fn resample(&self, start: SimTime, end: SimTime, step: SimTime) -> Vec<(SimTime, f64)> {
+        assert!(!step.is_zero(), "zero resample step");
+        let mut out = Vec::new();
+        if self.steps.is_empty() {
+            return out;
+        }
+        let first = self.steps[0].1;
+        let mut t = start;
+        loop {
+            out.push((t, self.value_at(t).unwrap_or(first)));
+            if t >= end {
+                break;
+            }
+            t = (t + step).min(end);
+        }
+        out
+    }
+
+    /// Time-weighted mean over `[start, end]`.
+    pub fn mean_over(&self, start: SimTime, end: SimTime) -> Option<f64> {
+        if self.steps.is_empty() || end <= start {
+            return None;
+        }
+        let mut acc = 0.0;
+        let mut t = start;
+        let mut v = self.value_at(start).unwrap_or(self.steps[0].1);
+        for &(st, sv) in self.steps.iter().filter(|&&(st, _)| st > start && st < end) {
+            acc += v * (st - t).as_secs_f64();
+            t = st;
+            v = sv;
+        }
+        acc += v * (end - t).as_secs_f64();
+        Some(acc / (end - start).as_secs_f64())
+    }
+
+    /// Raw steps.
+    pub fn steps(&self) -> &[(SimTime, f64)] {
+        &self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_micros(n)
+    }
+
+    #[test]
+    fn record_and_lookup() {
+        let mut tr = Trace::new("freq");
+        tr.record(us(0), 1.0);
+        tr.record(us(10), 2.0);
+        tr.record(us(20), 3.0);
+        assert_eq!(tr.value_at(us(0)), Some(1.0));
+        assert_eq!(tr.value_at(us(5)), Some(1.0));
+        assert_eq!(tr.value_at(us(10)), Some(2.0));
+        assert_eq!(tr.value_at(us(25)), Some(3.0));
+    }
+
+    #[test]
+    fn before_first_record_is_none() {
+        let mut tr = Trace::new("x");
+        tr.record(us(10), 5.0);
+        assert_eq!(tr.value_at(us(5)), None);
+    }
+
+    #[test]
+    fn duplicate_value_collapsed() {
+        let mut tr = Trace::new("x");
+        tr.record(us(0), 1.0);
+        tr.record(us(5), 1.0);
+        assert_eq!(tr.len(), 1);
+    }
+
+    #[test]
+    fn same_instant_overwrite() {
+        let mut tr = Trace::new("x");
+        tr.record(us(0), 1.0);
+        tr.record(us(0), 2.0);
+        assert_eq!(tr.len(), 1);
+        assert_eq!(tr.value_at(us(0)), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_panics() {
+        let mut tr = Trace::new("x");
+        tr.record(us(10), 1.0);
+        tr.record(us(5), 2.0);
+    }
+
+    #[test]
+    fn resample_grid() {
+        let mut tr = Trace::new("x");
+        tr.record(us(0), 1.0);
+        tr.record(us(10), 2.0);
+        let g = tr.resample(us(0), us(20), us(5));
+        assert_eq!(
+            g,
+            vec![
+                (us(0), 1.0),
+                (us(5), 1.0),
+                (us(10), 2.0),
+                (us(15), 2.0),
+                (us(20), 2.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn mean_over_window() {
+        let mut tr = Trace::new("x");
+        tr.record(us(0), 1.0);
+        tr.record(us(10), 3.0);
+        // [0,20]: 1.0 for 10us then 3.0 for 10us → mean 2.0
+        let m = tr.mean_over(us(0), us(20)).unwrap();
+        assert!((m - 2.0).abs() < 1e-12);
+        // [5,15]: 1.0 for 5us, 3.0 for 5us → 2.0
+        let m = tr.mean_over(us(5), us(15)).unwrap();
+        assert!((m - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_empty_or_degenerate() {
+        let tr = Trace::new("x");
+        assert_eq!(tr.mean_over(us(0), us(10)), None);
+        let mut tr = Trace::new("y");
+        tr.record(us(0), 1.0);
+        assert_eq!(tr.mean_over(us(5), us(5)), None);
+    }
+}

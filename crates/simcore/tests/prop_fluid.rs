@@ -1,0 +1,190 @@
+//! Property-based tests for the max-min fluid allocator and the engine.
+
+use proptest::prelude::*;
+use simcore::{Engine, FlowSpec, FluidNet, ResourceId, SimTime};
+
+/// A random allocation problem: resources with capacities, flows with paths,
+/// weights and optional caps.
+#[derive(Debug, Clone)]
+struct Problem {
+    capacities: Vec<f64>,
+    flows: Vec<(Vec<usize>, f64, Option<f64>)>, // (path, weight, cap)
+}
+
+fn problem() -> impl Strategy<Value = Problem> {
+    let caps = prop::collection::vec(1.0f64..1000.0, 1..6);
+    caps.prop_flat_map(|capacities| {
+        let nres = capacities.len();
+        let flow = (
+            prop::collection::btree_set(0..nres, 1..=nres.min(3)),
+            0.1f64..8.0,
+            prop::option::of(0.5f64..500.0),
+        )
+            .prop_map(|(path, w, cap)| (path.into_iter().collect::<Vec<_>>(), w, cap));
+        prop::collection::vec(flow, 1..12).prop_map(move |flows| Problem {
+            capacities: capacities.clone(),
+            flows,
+        })
+    })
+}
+
+fn build(p: &Problem) -> (FluidNet, Vec<(simcore::FlowId, Vec<ResourceId>, f64, Option<f64>)>) {
+    let mut net = FluidNet::new();
+    let rids: Vec<ResourceId> = p
+        .capacities
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| net.add_resource(format!("r{}", i), c))
+        .collect();
+    let mut flows = Vec::new();
+    for (i, (path, w, cap)) in p.flows.iter().enumerate() {
+        let rpath: Vec<ResourceId> = path.iter().map(|&j| rids[j]).collect();
+        let id = net.start_flow(FlowSpec {
+            path: rpath.clone(),
+            volume: 1e9,
+            weight: *w,
+            cap: *cap,
+            tag: i as u64,
+        });
+        flows.push((id, rpath, *w, *cap));
+    }
+    net.reallocate();
+    (net, flows)
+}
+
+proptest! {
+    /// Feasibility: no resource is over-allocated, no cap is exceeded, and
+    /// every rate is non-negative.
+    #[test]
+    fn allocation_is_feasible(p in problem()) {
+        let (net, flows) = build(&p);
+        for (ri, &cap) in p.capacities.iter().enumerate() {
+            let total: f64 = flows
+                .iter()
+                .filter(|(_, path, _, _)| path.iter().any(|r| r.index() == ri))
+                .map(|(id, _, _, _)| net.flow_rate(*id).unwrap())
+                .sum();
+            prop_assert!(total <= cap * (1.0 + 1e-9), "resource {} over-allocated: {} > {}", ri, total, cap);
+        }
+        for (id, _, _, cap) in &flows {
+            let r = net.flow_rate(*id).unwrap();
+            prop_assert!(r >= 0.0);
+            if let Some(c) = cap {
+                prop_assert!(r <= c * (1.0 + 1e-9), "cap violated: {} > {}", r, c);
+            }
+        }
+    }
+
+    /// Pareto efficiency / max-min optimality witness: every flow is
+    /// *blocked* — either at its cap, or it crosses at least one saturated
+    /// resource. (If neither held, its rate could be raised, contradicting
+    /// max-min optimality.)
+    #[test]
+    fn every_flow_is_blocked(p in problem()) {
+        let (net, flows) = build(&p);
+        for (id, path, _, cap) in &flows {
+            let r = net.flow_rate(*id).unwrap();
+            let at_cap = cap.map(|c| r >= c * (1.0 - 1e-9)).unwrap_or(false);
+            let saturated = path.iter().any(|&res| {
+                net.allocated(res) >= net.capacity(res) * (1.0 - 1e-9)
+            });
+            prop_assert!(at_cap || saturated, "flow rate {} not blocked (cap {:?})", r, cap);
+        }
+    }
+
+    /// Weighted fairness on a single shared resource: uncapped flows crossing
+    /// only one resource get rates proportional to their weights.
+    #[test]
+    fn single_resource_weighted_fairness(
+        weights in prop::collection::vec(0.1f64..10.0, 2..8),
+        capacity in 10.0f64..1000.0,
+    ) {
+        let mut net = FluidNet::new();
+        let r = net.add_resource("bus", capacity);
+        let ids: Vec<_> = weights
+            .iter()
+            .map(|&w| {
+                net.start_flow(FlowSpec {
+                    path: vec![r],
+                    volume: 1e9,
+                    weight: w,
+                    cap: None,
+                    tag: 0,
+                })
+            })
+            .collect();
+        net.reallocate();
+        let wsum: f64 = weights.iter().sum();
+        for (id, w) in ids.iter().zip(&weights) {
+            let expect = capacity * w / wsum;
+            let got = net.flow_rate(*id).unwrap();
+            prop_assert!((got - expect).abs() < 1e-6 * capacity, "got {} expect {}", got, expect);
+        }
+    }
+
+    /// Scale invariance: multiplying all capacities and caps by `k` scales
+    /// all rates by `k`.
+    #[test]
+    fn scale_invariance(p in problem(), k in 0.5f64..20.0) {
+        let (net_a, flows_a) = build(&p);
+        let scaled = Problem {
+            capacities: p.capacities.iter().map(|c| c * k).collect(),
+            flows: p
+                .flows
+                .iter()
+                .map(|(path, w, cap)| (path.clone(), *w, cap.map(|c| c * k)))
+                .collect(),
+        };
+        let (net_b, flows_b) = build(&scaled);
+        for ((ida, _, _, _), (idb, _, _, _)) in flows_a.iter().zip(&flows_b) {
+            let ra = net_a.flow_rate(*ida).unwrap();
+            let rb = net_b.flow_rate(*idb).unwrap();
+            prop_assert!((rb - ra * k).abs() < 1e-6 * (1.0 + ra * k), "ra={} rb={} k={}", ra, rb, k);
+        }
+    }
+
+    /// Volume conservation through the engine: a flow of volume V through a
+    /// resource of capacity C alone completes at exactly V/C.
+    #[test]
+    fn engine_completion_time_exact(volume in 1.0f64..1e9, capacity in 1.0f64..1e9) {
+        let mut e = Engine::new();
+        let r = e.add_resource("bus", capacity);
+        e.start_flow(FlowSpec { path: vec![r], volume, weight: 1.0, cap: None, tag: 1 });
+        let ev = e.next().unwrap();
+        prop_assert_eq!(ev.tag(), 1);
+        let expect = volume / capacity;
+        let got = e.now().as_secs_f64();
+        prop_assert!((got - expect).abs() < 1e-6 * expect + 1e-9, "got {} expect {}", got, expect);
+    }
+
+    /// Determinism: running the same randomized problem twice through the
+    /// engine produces identical event sequences and timestamps.
+    #[test]
+    fn engine_is_deterministic(p in problem(), delays in prop::collection::vec(1u64..1000, 0..5)) {
+        let run = || {
+            let mut e = Engine::new();
+            let rids: Vec<ResourceId> = p
+                .capacities
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| e.add_resource(format!("r{}", i), c))
+                .collect();
+            for (i, (path, w, cap)) in p.flows.iter().enumerate() {
+                e.start_flow(FlowSpec {
+                    path: path.iter().map(|&j| rids[j]).collect(),
+                    volume: 1e6,
+                    weight: *w,
+                    cap: *cap,
+                    tag: i as u64,
+                });
+            }
+            for (i, &d) in delays.iter().enumerate() {
+                e.after(SimTime::from_micros(d), 1000 + i as u64);
+            }
+            let mut log = Vec::new();
+            e.run(|eng, ev| log.push((eng.now(), ev.tag())));
+            log
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests for the task runtime: topological execution order, no
+//! lost tasks, and worker accounting under random DAGs.
+
+use freq::{Governor, License, UncorePolicy};
+use memsim::exec::Phase;
+use mpisim::Cluster;
+use proptest::prelude::*;
+use taskrt::{RtRouted, Runtime, RuntimeConfig, TaskId, TaskSpec};
+use topology::{henri, BindingPolicy, CoreId, NumaId, Placement};
+
+fn cluster() -> Cluster {
+    Cluster::new(
+        &henri(),
+        Governor::Userspace(2.3),
+        UncorePolicy::Fixed(2.4),
+        Placement {
+            comm_thread: BindingPolicy::NearNic,
+            data: BindingPolicy::NearNic,
+        },
+    )
+}
+
+fn phase(flops: f64) -> Phase {
+    Phase {
+        flops,
+        bytes: 0.0,
+        data: NumaId(0),
+        license: License::Normal,
+    }
+}
+
+/// A random DAG: each task may depend on a subset of earlier tasks.
+#[derive(Debug, Clone)]
+struct Dag {
+    /// deps[i] ⊆ {0..i}
+    deps: Vec<Vec<usize>>,
+    work: Vec<f64>,
+}
+
+fn dag_strategy() -> impl Strategy<Value = Dag> {
+    prop::collection::vec((any::<u64>(), 1.0f64..20.0), 1..20).prop_map(|seeds| {
+        let n = seeds.len();
+        let mut deps = Vec::with_capacity(n);
+        for (i, (seed, _)) in seeds.iter().enumerate() {
+            let mut d = Vec::new();
+            let mut bits = *seed;
+            for j in 0..i.min(8) {
+                if bits & 1 == 1 {
+                    d.push(i - 1 - j);
+                }
+                bits >>= 1;
+            }
+            deps.push(d);
+        }
+        Dag {
+            deps,
+            work: seeds.iter().map(|(_, w)| w * 1e5).collect(),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every task of a random DAG executes exactly once, in an order
+    /// consistent with the dependencies.
+    #[test]
+    fn dag_executes_topologically(dag in dag_strategy(), workers in 1usize..6) {
+        let mut c = cluster();
+        let mut rt = Runtime::new(RuntimeConfig::for_machine(&c.spec));
+        let cores: Vec<CoreId> = c.compute_cores()[..workers].to_vec();
+        rt.attach_workers(&mut c, 0, &cores);
+        let mut ids: Vec<TaskId> = Vec::new();
+        for (i, d) in dag.deps.iter().enumerate() {
+            let deps: Vec<TaskId> = d.iter().map(|&j| ids[j]).collect();
+            ids.push(rt.submit(&mut c, 0, TaskSpec {
+                phases: vec![phase(dag.work[i])],
+                deps,
+            }));
+        }
+        let mut finish_order = Vec::new();
+        while rt.pending_tasks(0) > 0 {
+            let ev = c.step().expect("tasks pending but engine dry");
+            if let RtRouted::TaskDone(t) = rt.handle(&mut c, ev) {
+                finish_order.push(t.task);
+            }
+        }
+        prop_assert_eq!(finish_order.len(), dag.deps.len());
+        // No duplicates.
+        let mut seen = std::collections::HashSet::new();
+        for t in &finish_order {
+            prop_assert!(seen.insert(t.0), "task {} finished twice", t.0);
+        }
+        // Dependencies finish before dependents.
+        let position: std::collections::HashMap<u32, usize> = finish_order
+            .iter()
+            .enumerate()
+            .map(|(pos, t)| (t.0, pos))
+            .collect();
+        for (i, d) in dag.deps.iter().enumerate() {
+            for &j in d {
+                prop_assert!(
+                    position[&ids[j].0] < position[&ids[i].0],
+                    "dep {} must finish before {}", j, i
+                );
+            }
+        }
+    }
+
+    /// Independent equal tasks on w workers exhibit near-ideal speedup in
+    /// the pure-compute regime.
+    #[test]
+    fn independent_tasks_scale(workers in 1usize..8) {
+        let tasks = 16usize;
+        let flops = 2.3e7; // 10 ms at 2.3 GHz × 4 flops/cycle… ≈2.5 ms
+        let elapsed_with = |w: usize| {
+            let mut c = cluster();
+            let mut rt = Runtime::new(RuntimeConfig::for_machine(&c.spec));
+            let cores: Vec<CoreId> = c.compute_cores()[..w].to_vec();
+            rt.attach_workers(&mut c, 0, &cores);
+            for _ in 0..tasks {
+                rt.submit(&mut c, 0, TaskSpec { phases: vec![phase(flops)], deps: vec![] });
+            }
+            while rt.pending_tasks(0) > 0 {
+                let ev = c.step().expect("progress");
+                rt.handle(&mut c, ev);
+            }
+            c.engine.now().as_secs_f64()
+        };
+        let t1 = elapsed_with(1);
+        let tw = elapsed_with(workers);
+        let speedup = t1 / tw;
+        let ideal = workers.min(tasks) as f64;
+        prop_assert!(speedup > 0.7 * ideal, "speedup {} ideal {}", speedup, ideal);
+        prop_assert!(speedup < 1.1 * ideal);
+    }
+
+    /// Tasks submitted while paused run only after resume.
+    #[test]
+    fn paused_runtime_defers_tasks(n in 1usize..6) {
+        let mut c = cluster();
+        let mut rt = Runtime::new(RuntimeConfig::for_machine(&c.spec));
+        let cores: Vec<CoreId> = c.compute_cores()[..2].to_vec();
+        rt.attach_workers(&mut c, 0, &cores);
+        rt.pause_workers(&mut c, 0);
+        for _ in 0..n {
+            rt.submit(&mut c, 0, TaskSpec { phases: vec![phase(1e5)], deps: vec![] });
+        }
+        // Drain: nothing can complete while paused.
+        let mut done = 0;
+        while let Some(ev) = c.step() {
+            if let RtRouted::TaskDone(_) = rt.handle(&mut c, ev) {
+                done += 1;
+            }
+        }
+        prop_assert_eq!(done, 0, "tasks ran while paused");
+        rt.resume_workers(&mut c, 0);
+        while rt.pending_tasks(0) > 0 {
+            let ev = c.step().expect("progress after resume");
+            if let RtRouted::TaskDone(_) = rt.handle(&mut c, ev) {
+                done += 1;
+            }
+        }
+        prop_assert_eq!(done, n);
+    }
+}

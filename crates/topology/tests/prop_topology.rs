@@ -1,0 +1,117 @@
+//! Property tests for topology invariants across all presets and random
+//! placements.
+
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+use topology::{BindingPolicy, CoreId, NumaId, Placement, Preset};
+
+fn preset_strategy() -> impl Strategy<Value = Preset> {
+    prop_oneof![
+        Just(Preset::Henri),
+        Just(Preset::Bora),
+        Just(Preset::Billy),
+        Just(Preset::Pyxis),
+        Just(Preset::Tiny2x2),
+    ]
+}
+
+fn policy_strategy(numa_count: u32) -> impl Strategy<Value = BindingPolicy> {
+    prop_oneof![
+        Just(BindingPolicy::NearNic),
+        Just(BindingPolicy::FarFromNic),
+        (0..numa_count).prop_map(|n| BindingPolicy::Numa(NumaId(n))),
+    ]
+}
+
+proptest! {
+    /// Core → NUMA → socket maps are consistent and total.
+    #[test]
+    fn core_maps_are_total_and_consistent(preset in preset_strategy()) {
+        let m = preset.spec();
+        for c in 0..m.core_count() {
+            let numa = m.numa_of_core(CoreId(c));
+            prop_assert!(numa.0 < m.numa_count());
+            prop_assert!(m.cores_of_numa(numa).contains(&CoreId(c)));
+            let socket = m.socket_of_core(CoreId(c));
+            prop_assert_eq!(m.socket_of_numa(numa), socket);
+        }
+    }
+
+    /// NUMA nodes partition the cores exactly.
+    #[test]
+    fn numa_partition(preset in preset_strategy()) {
+        let m = preset.spec();
+        let mut seen = vec![false; m.core_count() as usize];
+        for n in 0..m.numa_count() {
+            for c in m.cores_of_numa(NumaId(n)) {
+                prop_assert!(!seen[c.0 as usize], "core {} in two NUMA nodes", c.0);
+                seen[c.0 as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Any resolvable placement yields a comm core distinct from every
+    /// compute core, with all cores valid.
+    #[test]
+    fn placements_resolve_consistently(
+        preset in preset_strategy(),
+        thread_near in any::<bool>(),
+        data_near in any::<bool>(),
+    ) {
+        let m = preset.spec();
+        let placement = Placement {
+            comm_thread: if thread_near { BindingPolicy::NearNic } else { BindingPolicy::FarFromNic },
+            data: if data_near { BindingPolicy::NearNic } else { BindingPolicy::FarFromNic },
+        };
+        let r = m.resolve(placement);
+        prop_assert!(r.comm_core.0 < m.core_count());
+        prop_assert!(r.data_numa.0 < m.numa_count());
+        prop_assert_eq!(r.compute_cores.len() as u32, m.core_count() - 1);
+        prop_assert!(!r.compute_cores.contains(&r.comm_core));
+        // Near/far semantics.
+        let comm_near = m.numa_near_nic(m.numa_of_core(r.comm_core));
+        prop_assert_eq!(comm_near, thread_near);
+    }
+
+    /// Explicit-NUMA policies are honored.
+    #[test]
+    fn explicit_numa_policy(preset in preset_strategy()) {
+        let m = preset.spec();
+        let strat = policy_strategy(m.numa_count());
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        for _ in 0..8 {
+            let policy = strat.new_tree(&mut runner).unwrap().current();
+            let r = m.resolve(Placement { comm_thread: policy, data: policy });
+            if let BindingPolicy::Numa(n) = policy {
+                prop_assert_eq!(r.data_numa, n);
+                prop_assert_eq!(m.numa_of_core(r.comm_core), n);
+            }
+        }
+    }
+
+    /// Turbo frequency lookups are monotone non-increasing in active cores
+    /// and in license strictness.
+    #[test]
+    fn flop_rate_monotone(preset in preset_strategy(), f in 0.5f64..4.0) {
+        let m = preset.spec();
+        prop_assert!(m.flop_rate(f, 0) <= m.flop_rate(f * 1.5, 0) + 1e-9);
+        // Wider licenses never *reduce* per-cycle throughput.
+        prop_assert!(m.flop_rate(f, 1) >= m.flop_rate(f, 0));
+        prop_assert!(m.flop_rate(f, 2) >= m.flop_rate(f, 1));
+    }
+
+    /// Uncore-scaled memory bandwidth stays within [80 %, 100 %] of peak
+    /// and is monotone in the uncore frequency.
+    #[test]
+    fn mem_bw_uncore_bounds(preset in preset_strategy(), t in 0.0f64..1.0) {
+        let m = preset.spec();
+        let (lo, hi) = m.uncore_range;
+        let u = lo + t * (hi - lo);
+        let bw = m.mem_bw_at_uncore(u);
+        prop_assert!(bw >= m.mem_bw_per_numa * 0.8 - 1e-3);
+        prop_assert!(bw <= m.mem_bw_per_numa + 1e-3);
+        let bw2 = m.mem_bw_at_uncore(u + 0.01);
+        prop_assert!(bw2 + 1e-6 >= bw);
+    }
+}

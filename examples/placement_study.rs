@@ -1,0 +1,59 @@
+//! Placement study: how data locality and communication-thread binding
+//! change interference (the paper's §4.3 / Table 1), across all four
+//! cluster presets.
+//!
+//! ```text
+//! cargo run --release --example placement_study
+//! ```
+
+use kernels::stream::{workload, StreamKernel};
+use mpisim::pingpong::PingPongConfig;
+use topology::{BindingPolicy, Placement, Preset};
+
+use interference::protocol::{self, ProtocolConfig};
+
+fn main() {
+    for preset in [Preset::Henri, Preset::Bora] {
+        let machine = preset.spec();
+        let full = machine.core_count() as usize - 1;
+        println!(
+            "\n=== {} ({} cores, {} NUMA nodes) — {} computing cores ===",
+            machine.name,
+            machine.core_count(),
+            machine.numa_count(),
+            full
+        );
+        println!(
+            "{:<28} {:>12} {:>12} {:>14} {:>14}",
+            "placement", "lat alone", "lat together", "bw alone", "bw together"
+        );
+        for (label, placement) in Placement::all_combinations() {
+            let data = match placement.data {
+                BindingPolicy::NearNic => machine.near_numa(),
+                BindingPolicy::FarFromNic => machine.far_numa(),
+                BindingPolicy::Numa(n) => n,
+            };
+            let stream = workload(StreamKernel::Triad, 2_000_000, data, 1);
+            let mut cfg = ProtocolConfig::new(machine.clone(), Some(stream));
+            cfg.placement = placement;
+            cfg.compute_cores = full;
+            cfg.reps = 3;
+
+            cfg.pingpong = PingPongConfig::latency(10);
+            let lat = protocol::run(&cfg);
+            cfg.pingpong = PingPongConfig::bandwidth(2);
+            let bw = protocol::run(&cfg);
+
+            let med = |v: &[f64]| simcore::Summary::of(v).median;
+            println!(
+                "{:<28} {:>9.2} µs {:>9.2} µs {:>9.2} GB/s {:>9.2} GB/s",
+                label,
+                med(&lat.lat_alone()),
+                med(&lat.lat_together()),
+                med(&bw.bw_alone()) / 1e9,
+                med(&bw.bw_together()) / 1e9,
+            );
+        }
+    }
+    println!("\npaper: thread far → latency suffers; data far → bandwidth suffers.");
+}
