@@ -130,6 +130,7 @@ pub fn run(fidelity: Fidelity) -> FigureData {
                 .into(),
         ],
         checks,
+        runs: Vec::new(),
     }
 }
 

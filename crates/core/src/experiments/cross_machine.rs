@@ -132,6 +132,7 @@ pub fn run(fidelity: Fidelity) -> FigureData {
         series: vec![s_loss, s_band],
         notes,
         checks,
+        runs: Vec::new(),
     }
 }
 

@@ -131,6 +131,7 @@ pub fn run(fidelity: Fidelity) -> Vec<FigureData> {
                 paper::FIG10_GEMM_LOSS * 100.0
             )],
             checks: checks_bw,
+            runs: Vec::new(),
         },
         FigureData {
             id: "fig10-stalls",
@@ -144,6 +145,7 @@ pub fn run(fidelity: Fidelity) -> Vec<FigureData> {
                 paper::FIG10_GEMM_STALLS * 100.0
             )],
             checks: checks_st,
+            runs: Vec::new(),
         },
     ]
 }

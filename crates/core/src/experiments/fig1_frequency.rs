@@ -143,6 +143,7 @@ pub fn run(fidelity: Fidelity) -> Vec<FigureData> {
                 paper::LAT_US_AT_1000MHZ
             )],
             checks: checks_a,
+            runs: Vec::new(),
         },
         FigureData {
             id: "fig1b",
@@ -156,6 +157,7 @@ pub fn run(fidelity: Fidelity) -> Vec<FigureData> {
                 paper::BW_AT_UNCORE_MIN / 1e9
             )],
             checks: checks_b,
+            runs: Vec::new(),
         },
     ]
 }

@@ -142,6 +142,7 @@ pub fn run(fidelity: Fidelity) -> FigureData {
             "computing benchmark: naive prime counting (no memory accesses)".into(),
         ],
         checks,
+        runs: Vec::new(),
     }
 }
 

@@ -160,6 +160,7 @@ pub fn run(fidelity: Fidelity) -> Vec<FigureData> {
                 lat_alone_med
             )],
             checks: checks_a,
+            runs: Vec::new(),
         },
         FigureData {
             id: "fig3bc",
@@ -171,6 +172,7 @@ pub fn run(fidelity: Fidelity) -> Vec<FigureData> {
                 "paper Fig 3b/3c: 3.0 GHz at 4 cores, 2.3 GHz at 20; comm core 2.5 GHz".into(),
             ],
             checks: checks_bc,
+            runs: Vec::new(),
         },
     ]
 }

@@ -216,6 +216,7 @@ pub fn run(fidelity: Fidelity) -> Vec<FigureData> {
                 paper::FIG4_LATENCY_FACTOR
             )],
             checks: checks_a,
+            runs: Vec::new(),
         },
         FigureData {
             id: "fig4b",
@@ -235,6 +236,7 @@ pub fn run(fidelity: Fidelity) -> Vec<FigureData> {
                 paper::FIG4_STREAM_WORST_LOSS * 100.0
             )],
             checks: checks_b,
+            runs: Vec::new(),
         },
     ]
 }

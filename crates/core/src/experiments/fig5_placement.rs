@@ -172,6 +172,7 @@ pub fn run(fidelity: Fidelity) -> Vec<FigureData> {
                 paper::FIG5_FAR_ONSET_CORES
             )],
             checks: checks_lat,
+            runs: Vec::new(),
         },
         FigureData {
             id: "fig5-bw",
@@ -183,6 +184,7 @@ pub fn run(fidelity: Fidelity) -> Vec<FigureData> {
                 "paper: data near → steady decrease; data far → abrupt drop".into(),
             ],
             checks: checks_bw,
+            runs: Vec::new(),
         },
     ]
 }

@@ -149,6 +149,7 @@ pub fn run(fidelity: Fidelity) -> Vec<FigureData> {
                 paper::FIG6_5CORES_STREAM_ONSET
             )],
             checks: checks_a,
+            runs: Vec::new(),
         },
         FigureData {
             id: "fig6b",
@@ -161,6 +162,7 @@ pub fn run(fidelity: Fidelity) -> Vec<FigureData> {
                 paper::FIG6_35CORES_COMM_ONSET
             )],
             checks: checks_b,
+            runs: Vec::new(),
         },
     ]
 }

@@ -152,6 +152,7 @@ pub fn run(fidelity: Fidelity) -> Vec<FigureData> {
                 paper::FIG7_BILLY_BOUNDARY
             )],
             checks: checks_a,
+            runs: Vec::new(),
         },
         FigureData {
             id: "fig7b",
@@ -165,6 +166,7 @@ pub fn run(fidelity: Fidelity) -> Vec<FigureData> {
                 paper::FIG7_COMPUTE_SLOWDOWN * 100.0
             )],
             checks: checks_b,
+            runs: Vec::new(),
         },
     ]
 }

@@ -132,6 +132,7 @@ pub fn run(fidelity: Fidelity) -> FigureData {
         series: vec![s_rt, s_plain],
         notes,
         checks,
+        runs: Vec::new(),
     }
 }
 

@@ -111,6 +111,7 @@ pub fn run(fidelity: Fidelity) -> FigureData {
                 .into(),
         ],
         checks,
+        runs: Vec::new(),
     }
 }
 

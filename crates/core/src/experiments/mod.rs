@@ -17,6 +17,7 @@ pub mod fig6_msgsize;
 pub mod fig7_intensity;
 pub mod fig8_runtime_overhead;
 pub mod fig9_polling;
+pub mod faulted_pingpong;
 pub mod overlap;
 pub mod fig10_usecases;
 pub mod table1;
@@ -94,13 +95,15 @@ pub fn run_all(fidelity: Fidelity) -> Vec<FigureData> {
     out
 }
 
-/// Run the extension experiments (cross-machine validation + model
-/// ablations) — not paper figures, but the studies DESIGN.md promises.
+/// Run the extension experiments (cross-machine validation, model
+/// ablations, overlap study and the fault-injection demo) — not paper
+/// figures, but the studies DESIGN.md promises.
 pub fn run_extensions(fidelity: Fidelity) -> Vec<FigureData> {
     vec![
         cross_machine::run(fidelity),
         ablations::run(fidelity),
         overlap::run(fidelity),
+        faulted_pingpong::run(fidelity),
     ]
 }
 

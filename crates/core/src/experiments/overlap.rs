@@ -174,6 +174,7 @@ pub fn run(fidelity: Fidelity) -> FigureData {
                 .into(),
         ],
         checks,
+        runs: Vec::new(),
     }
 }
 

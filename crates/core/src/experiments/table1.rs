@@ -89,6 +89,7 @@ pub fn run(fidelity: Fidelity) -> FigureData {
         series: vec![s_lat, s_bw],
         notes,
         checks,
+        runs: Vec::new(),
     }
 }
 

@@ -18,12 +18,17 @@
 //! paper-vs-measured results.
 
 #![warn(missing_docs)]
+// Experiment seeds are grouped as figure mnemonics (0xF16_4A = "fig 4a"),
+// not as equal-width digit groups.
+#![allow(clippy::unusual_byte_groupings)]
 
 pub mod experiments;
 pub mod paper;
 pub mod protocol;
 pub mod report;
 pub mod results;
+pub mod runner;
 
-pub use protocol::{ProtocolConfig, RepMetrics, StepResults};
-pub use report::{Check, FigureData};
+pub use protocol::{ProtocolConfig, ProtocolError, RepMetrics, StepResults};
+pub use report::{Check, FigureData, RunOutcome};
+pub use runner::{run_campaign, Campaign, RunRecord, RunStatus};

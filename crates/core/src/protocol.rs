@@ -13,12 +13,71 @@
 //! Every repetition is an independent seeded "run" (fresh cluster, fresh
 //! jitter draw), which yields the median/decile bands of the figures.
 
+use std::fmt;
+
 use freq::{Governor, UncorePolicy};
 use kernels::Workload;
 use mpisim::pingpong::{self, PingPongConfig};
-use mpisim::Cluster;
+use mpisim::{Cluster, ClusterError};
 use simcore::{JitterFamily, SimTime};
-use topology::{MachineSpec, Placement};
+use topology::{MachineSpec, Placement, TopologyError};
+
+/// Why a protocol configuration is unusable or a run failed.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The placement cannot be resolved on the configured machine.
+    Topology(TopologyError),
+    /// More computing cores requested than the machine provides after
+    /// reserving the communication core.
+    TooManyComputeCores {
+        /// Requested computing cores.
+        requested: usize,
+        /// Cores actually available.
+        available: usize,
+    },
+    /// A count that must be positive is zero.
+    Zero {
+        /// Which field ("reps", "ping-pong reps", "ping-pong size").
+        what: &'static str,
+    },
+    /// A repetition's simulation failed (wedged engine, dried-up event
+    /// queue or a permanently failed transfer).
+    Cluster(ClusterError),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Topology(e) => write!(f, "placement does not resolve: {}", e),
+            ProtocolError::TooManyComputeCores {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested {} computing cores, only {} available",
+                requested, available
+            ),
+            ProtocolError::Zero { what } => write!(f, "{} must be positive", what),
+            ProtocolError::Cluster(e) => write!(f, "repetition failed: {}", e),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Topology(e) => Some(e),
+            ProtocolError::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClusterError> for ProtocolError {
+    fn from(e: ClusterError) -> Self {
+        ProtocolError::Cluster(e)
+    }
+}
 
 /// Configuration of one protocol run.
 #[derive(Clone)]
@@ -65,6 +124,36 @@ impl ProtocolConfig {
             compute_both_nodes: true,
         }
     }
+
+    /// Check the configuration against the machine before running: the
+    /// placement must resolve, requested computing cores must exist, and
+    /// the repetition counts must be positive.
+    pub fn validate(&self) -> Result<(), ProtocolError> {
+        let resolved = self
+            .machine
+            .try_resolve(self.placement)
+            .map_err(ProtocolError::Topology)?;
+        if self.compute_cores > resolved.compute_cores.len() {
+            return Err(ProtocolError::TooManyComputeCores {
+                requested: self.compute_cores,
+                available: resolved.compute_cores.len(),
+            });
+        }
+        if self.reps == 0 {
+            return Err(ProtocolError::Zero { what: "reps" });
+        }
+        if self.pingpong.reps == 0 {
+            return Err(ProtocolError::Zero {
+                what: "ping-pong reps",
+            });
+        }
+        if self.pingpong.size == 0 {
+            return Err(ProtocolError::Zero {
+                what: "ping-pong size",
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Metrics of one repetition.
@@ -81,6 +170,13 @@ pub struct RepMetrics {
     pub compute_flop_rate: f64,
     /// Mean memory-stall fraction of the computing cores.
     pub compute_stall_fraction: f64,
+    /// Rendezvous retransmissions summed over every send of the rep (0 on
+    /// a healthy fabric).
+    pub comm_retries: u64,
+    /// Control-message bytes re-sent across the wire.
+    pub comm_retrans_bytes: u64,
+    /// Simulated seconds spent waiting in expired retransmission timeouts.
+    pub comm_retry_wait_s: f64,
 }
 
 impl RepMetrics {
@@ -163,22 +259,26 @@ pub fn build_cluster(cfg: &ProtocolConfig, family: &JitterFamily, rep: u64) -> C
     cluster
 }
 
-/// Start the configured computation jobs; returns their ids per node.
-fn start_compute(cfg: &ProtocolConfig, cluster: &mut Cluster) -> Vec<(usize, memsim::exec::JobId)> {
+/// Start the configured computation jobs; returns their ids per node, or a
+/// typed error when more cores are requested than the machine provides.
+fn try_start_compute(
+    cfg: &ProtocolConfig,
+    cluster: &mut Cluster,
+) -> Result<Vec<(usize, memsim::exec::JobId)>, ProtocolError> {
     let mut jobs = Vec::new();
     let Some(w) = &cfg.workload else {
-        return jobs;
+        return Ok(jobs);
     };
     if cfg.compute_cores == 0 {
-        return jobs;
+        return Ok(jobs);
     }
     let cores = cluster.compute_cores();
-    assert!(
-        cfg.compute_cores <= cores.len(),
-        "requested {} computing cores, only {} available",
-        cfg.compute_cores,
-        cores.len()
-    );
+    if cfg.compute_cores > cores.len() {
+        return Err(ProtocolError::TooManyComputeCores {
+            requested: cfg.compute_cores,
+            available: cores.len(),
+        });
+    }
     let nodes: &[usize] = if cfg.compute_both_nodes { &[0, 1] } else { &[0] };
     for &node in nodes {
         for &core in &cores[..cfg.compute_cores] {
@@ -189,7 +289,7 @@ fn start_compute(cfg: &ProtocolConfig, cluster: &mut Cluster) -> Vec<(usize, mem
             jobs.push((node, cluster.start_job(node, spec)));
         }
     }
-    jobs
+    Ok(jobs)
 }
 
 /// Stop jobs and aggregate their metrics.
@@ -217,15 +317,52 @@ fn stop_compute(
     }
 }
 
+/// Record the profiler's retry totals into a rep's metrics.
+fn collect_retry_totals(cluster: &Cluster, m: &mut RepMetrics) {
+    for rec in cluster.send_profile() {
+        m.comm_retries += rec.retries as u64;
+        m.comm_retrans_bytes += rec.retrans_bytes;
+        m.comm_retry_wait_s += rec.retry_wait.as_secs_f64();
+    }
+}
+
 /// Run the full three-step protocol.
+///
+/// Panics on an invalid configuration or a failed repetition; see
+/// [`try_run`].
 pub fn run(cfg: &ProtocolConfig) -> StepResults {
+    match try_run(cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("{}", e),
+    }
+}
+
+/// Fallible [`run`]: an invalid configuration or a repetition that wedges,
+/// dries up or loses a transfer permanently comes back as
+/// [`ProtocolError`] instead of a panic. Use [`crate::runner`] to keep a
+/// campaign going across such failures.
+pub fn try_run(cfg: &ProtocolConfig) -> Result<StepResults, ProtocolError> {
+    try_run_faulted(cfg, &simcore::FaultPlan::new(cfg.seed))
+}
+
+/// [`try_run`] with a fault plan injected into every repetition's cluster.
+/// An empty plan reproduces `try_run` exactly (byte-identical event
+/// streams).
+pub fn try_run_faulted(
+    cfg: &ProtocolConfig,
+    plan: &simcore::FaultPlan,
+) -> Result<StepResults, ProtocolError> {
+    cfg.validate()?;
+    plan.validate()
+        .map_err(|e| ProtocolError::Cluster(ClusterError::from(e)))?;
     let family = JitterFamily::new(cfg.seed);
     let mut results = StepResults::default();
     for rep in 0..cfg.reps {
         // Step 1: computation alone.
         if cfg.workload.is_some() && cfg.compute_cores > 0 {
             let mut cluster = build_cluster(cfg, &family, rep as u64);
-            let jobs = start_compute(cfg, &mut cluster);
+            apply_plan(&mut cluster, plan)?;
+            let jobs = try_start_compute(cfg, &mut cluster)?;
             let deadline = cluster.engine.now() + cfg.compute_window;
             while cluster.step_until(deadline).is_some() {}
             let mut m = RepMetrics::default();
@@ -236,33 +373,51 @@ pub fn run(cfg: &ProtocolConfig) -> StepResults {
         // Step 2: communication alone.
         {
             let mut cluster = build_cluster(cfg, &family, rep as u64);
-            let res = pingpong::run(&mut cluster, cfg.pingpong);
-            results.comm_alone.push(RepMetrics {
-                comm_latency_us: res.median_latency_us(),
-                comm_bandwidth: res.median_bandwidth(),
-                ..Default::default()
-            });
-        }
-
-        // Step 3: together.
-        {
-            let mut cluster = build_cluster(cfg, &family, rep as u64);
-            let jobs = start_compute(cfg, &mut cluster);
-            let res = pingpong::run_with_background(&mut cluster, cfg.pingpong, |_, ev| {
-                // Jobs are effectively endless; completions are impossible,
-                // other events are ignored.
-                let _ = ev;
-            });
+            apply_plan(&mut cluster, plan)?;
+            cluster.enable_profiling();
+            let res = pingpong::try_run(&mut cluster, cfg.pingpong)?;
             let mut m = RepMetrics {
                 comm_latency_us: res.median_latency_us(),
                 comm_bandwidth: res.median_bandwidth(),
                 ..Default::default()
             };
+            collect_retry_totals(&cluster, &mut m);
+            results.comm_alone.push(m);
+        }
+
+        // Step 3: together.
+        {
+            let mut cluster = build_cluster(cfg, &family, rep as u64);
+            apply_plan(&mut cluster, plan)?;
+            cluster.enable_profiling();
+            let jobs = try_start_compute(cfg, &mut cluster)?;
+            let res = pingpong::try_run_with_background(&mut cluster, cfg.pingpong, |_, ev| {
+                // Jobs are effectively endless; completions are impossible,
+                // other events are ignored.
+                let _ = ev;
+            })?;
+            let mut m = RepMetrics {
+                comm_latency_us: res.median_latency_us(),
+                comm_bandwidth: res.median_bandwidth(),
+                ..Default::default()
+            };
+            collect_retry_totals(&cluster, &mut m);
             stop_compute(&mut cluster, jobs, &mut m);
             results.together.push(m);
         }
     }
-    results
+    Ok(results)
+}
+
+/// Inject a fault plan into a freshly built cluster (no-op for an empty
+/// plan, preserving the healthy event stream byte for byte).
+fn apply_plan(cluster: &mut Cluster, plan: &simcore::FaultPlan) -> Result<(), ProtocolError> {
+    if plan.is_empty() {
+        return Ok(());
+    }
+    cluster
+        .apply_faults(plan)
+        .map_err(|e| ProtocolError::Cluster(ClusterError::from(e)))
 }
 
 #[cfg(test)]
@@ -344,6 +499,65 @@ mod tests {
         // 24 MB per pass at 12 GB/s = 2 ms.
         let t = m.iteration_time(&w);
         assert!((t - 2e-3).abs() < 1e-9, "t {}", t);
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let mut cfg = stream_cfg(4, PingPongConfig::latency(3));
+        cfg.compute_cores = 1000;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ProtocolError::TooManyComputeCores {
+                requested: 1000,
+                available: 35
+            })
+        ));
+        assert!(cfg
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("computing cores"));
+        assert!(matches!(
+            try_run(&cfg),
+            Err(ProtocolError::TooManyComputeCores { .. })
+        ));
+        let mut zero_reps = stream_cfg(2, PingPongConfig::latency(3));
+        zero_reps.reps = 0;
+        assert!(matches!(
+            zero_reps.validate(),
+            Err(ProtocolError::Zero { what: "reps" })
+        ));
+        let mut zero_size = stream_cfg(2, PingPongConfig::latency(3));
+        zero_size.pingpong.size = 0;
+        assert!(matches!(
+            zero_size.validate(),
+            Err(ProtocolError::Zero {
+                what: "ping-pong size"
+            })
+        ));
+    }
+
+    #[test]
+    fn faulted_protocol_records_retry_work() {
+        let mut cfg = stream_cfg(
+            0,
+            PingPongConfig {
+                size: 256 * 1024,
+                reps: 4,
+                warmup: 1,
+                mtag: 3,
+            },
+        );
+        cfg.reps = 2;
+        let plan = simcore::FaultPlan::new(cfg.seed).with_cts_drop(0.4);
+        let r = try_run_faulted(&cfg, &plan).unwrap();
+        let total: u64 = r.comm_alone.iter().map(|m| m.comm_retries).sum();
+        assert!(total > 0, "p=0.4 CTS drops must force retransmissions");
+        assert!(r.comm_alone.iter().any(|m| m.comm_retrans_bytes > 0));
+        // The same config on a healthy fabric records zero retry work.
+        let h = try_run(&cfg).unwrap();
+        assert!(h.comm_alone.iter().all(|m| m.comm_retries == 0));
+        assert!(h.comm_alone.iter().all(|m| m.comm_retry_wait_s == 0.0));
     }
 
     #[test]

@@ -27,6 +27,30 @@ impl Check {
     }
 }
 
+/// Per-repetition outcome attached to a figure when the experiment ran
+/// through the crash-proof runner (see [`crate::runner`]). Healthy
+/// experiments leave `runs` empty; fault-injection campaigns record one
+/// entry per repetition so the export shows which reps completed, which
+/// recovered on a retry seed and which failed — plus the rendezvous retry
+/// work each one performed.
+#[derive(Clone, Debug, Default)]
+pub struct RunOutcome {
+    /// Repetition index.
+    pub rep: u32,
+    /// Seed the (final) attempt ran with.
+    pub seed: u64,
+    /// `"ok"`, `"recovered"` or `"failed"`.
+    pub status: &'static str,
+    /// Error text for failed/recovered runs.
+    pub error: Option<String>,
+    /// Rendezvous retransmissions across all sends of the rep.
+    pub retries: u64,
+    /// Control-message bytes re-sent across the wire.
+    pub retrans_bytes: u64,
+    /// Simulated seconds spent in expired retransmission timeouts.
+    pub retry_wait_s: f64,
+}
+
 /// Everything an experiment produces for one figure or table.
 #[derive(Clone, Debug)]
 pub struct FigureData {
@@ -44,12 +68,21 @@ pub struct FigureData {
     pub notes: Vec<String>,
     /// Automated qualitative checks.
     pub checks: Vec<Check>,
+    /// Per-repetition outcomes (empty unless the experiment ran under the
+    /// crash-proof runner).
+    pub runs: Vec<RunOutcome>,
 }
 
 impl FigureData {
     /// True if every check passed.
     pub fn all_pass(&self) -> bool {
         self.checks.iter().all(|c| c.pass)
+    }
+
+    /// True when at least one recorded repetition failed permanently — the
+    /// figure's bands were computed from the surviving reps only.
+    pub fn is_partial(&self) -> bool {
+        self.runs.iter().any(|r| r.status == "failed")
     }
 
     /// Render as an ASCII report block.
@@ -77,6 +110,22 @@ impl FigureData {
         }
         for n in &self.notes {
             let _ = writeln!(out, "   note: {}", n);
+        }
+        for r in &self.runs {
+            let _ = writeln!(
+                out,
+                "   run {:>3} seed {:#018x} [{}] retries {} retrans {} B wait {:.1} us{}",
+                r.rep,
+                r.seed,
+                r.status,
+                r.retries,
+                r.retrans_bytes,
+                r.retry_wait_s * 1e6,
+                r.error
+                    .as_deref()
+                    .map(|e| format!(" — {}", e))
+                    .unwrap_or_default()
+            );
         }
         for c in &self.checks {
             let _ = writeln!(
@@ -143,6 +192,7 @@ mod tests {
                 Check::new("grows", true, "2.6 > 1.6"),
                 Check::new("bounded", true, "under 10"),
             ],
+            runs: Vec::new(),
         }
     }
 

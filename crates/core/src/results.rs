@@ -45,7 +45,10 @@ fn num(v: f64) -> String {
 ///                 "points": [ {"x":…, "median":…, "d1":…, "d9":…,
 ///                              "min":…, "max":…, "n":…} ] } ],
 ///   "notes": [...],
-///   "checks": [ {"name": "...", "pass": true, "detail": "..."} ] }
+///   "checks": [ {"name": "...", "pass": true, "detail": "..."} ],
+///   "runs": [ {"rep":…, "seed":…, "status":"ok|recovered|failed",
+///              "error":null, "retries":…, "retrans_bytes":…,
+///              "retry_wait_s":…} ] }
 /// ```
 pub fn figure_to_json(fig: &FigureData) -> String {
     let mut out = String::new();
@@ -100,6 +103,27 @@ pub fn figure_to_json(fig: &FigureData) -> String {
             esc(&c.detail)
         );
     }
+    out.push_str("],\"runs\":[");
+    for (ri, r) in fig.runs.iter().enumerate() {
+        if ri > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rep\":{},\"seed\":{},\"status\":\"{}\",\"error\":{},\
+             \"retries\":{},\"retrans_bytes\":{},\"retry_wait_s\":{}}}",
+            r.rep,
+            r.seed,
+            esc(r.status),
+            match &r.error {
+                Some(e) => format!("\"{}\"", esc(e)),
+                None => "null".to_string(),
+            },
+            r.retries,
+            r.retrans_bytes,
+            num(r.retry_wait_s)
+        );
+    }
     out.push_str("]}");
     out
 }
@@ -134,6 +158,15 @@ mod tests {
             series: vec![s],
             notes: vec!["a \"note\"".into()],
             checks: vec![Check::new("c", true, "d\\e")],
+            runs: vec![crate::report::RunOutcome {
+                rep: 0,
+                seed: 0xABCD,
+                status: "recovered",
+                error: Some("transfer \"x\" failed".into()),
+                retries: 3,
+                retrans_bytes: 192,
+                retry_wait_s: 1.5e-6,
+            }],
         }
     }
 
@@ -144,6 +177,9 @@ mod tests {
         assert!(j.contains("\"series\":[{\"name\":\"lat \\\"q\\\"\""));
         assert!(j.contains("\"pass\":true"));
         assert!(j.contains("\"x\":1"));
+        assert!(j.contains("\"runs\":[{\"rep\":0,\"seed\":43981,\"status\":\"recovered\""));
+        assert!(j.contains("\"retries\":3"));
+        assert!(j.contains("transfer \\\"x\\\" failed"));
         // Balanced braces/brackets.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());

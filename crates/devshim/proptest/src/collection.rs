@@ -1,0 +1,109 @@
+//! Collection strategies (`prop::collection::{vec, btree_set}`).
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// An inclusive size range for generated collections.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+    }
+}
+
+/// Strategy producing `Vec`s of values from `element`.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.draw(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `Vec` of values from `element` with a length in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy producing `BTreeSet`s of values from `element`.
+#[derive(Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.draw(rng);
+        let mut out = BTreeSet::new();
+        // Duplicates shrink the set; bounded retries approach the target
+        // size, matching the real crate's best-effort semantics.
+        for _ in 0..target.saturating_mul(10).max(8) {
+            if out.len() >= target {
+                break;
+            }
+            out.insert(self.element.sample(rng));
+        }
+        out
+    }
+}
+
+/// `BTreeSet` of values from `element` with a target size in `size`.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}

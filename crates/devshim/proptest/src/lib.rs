@@ -1,0 +1,243 @@
+//! A workspace-local, dependency-free drop-in for the subset of the
+//! [`proptest`](https://crates.io/crates/proptest) API this repository uses.
+//!
+//! The build environment has no access to a crates registry, so the real
+//! proptest cannot be fetched. This shim keeps the property tests compiling
+//! and running: strategies are sampled from a deterministic SplitMix64
+//! stream seeded from the test name, so runs are reproducible. Shrinking is
+//! not implemented — a failing case reports its case number and seed
+//! instead of a minimized input.
+
+use std::fmt;
+
+pub mod strategy;
+
+/// Explicit-runner support (`TestRunner::deterministic()` + `new_tree`).
+pub mod test_runner {
+    use crate::TestRng;
+
+    /// Holds the RNG strategies draw from when sampled via
+    /// [`crate::strategy::Strategy::new_tree`].
+    #[derive(Clone, Debug)]
+    pub struct TestRunner {
+        pub(crate) rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// A runner with a fixed seed — same sequence every run.
+        pub fn deterministic() -> TestRunner {
+            TestRunner {
+                rng: TestRng::new(0x5EED_CAFE_F00D_D00D),
+            }
+        }
+    }
+}
+
+/// `prop::collection` / `prop::option` live at the crate root so that
+/// `use proptest::prelude::*;` + `prop::collection::vec(...)` works exactly
+/// like the real crate (whose prelude re-exports the crate as `prop`).
+pub mod collection;
+pub mod option;
+
+/// Error returned from a property body via `prop_assert!` and friends.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases sampled per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic generator driving all strategy sampling (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed the generator.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Seed from a test name (FNV-1a) so distinct tests draw distinct,
+    /// stable streams.
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng::new(h)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Modulo bias is irrelevant at test-generation quality.
+        self.next_u64() % n
+    }
+}
+
+/// The prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Fail the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current property case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Fail the current property case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                a, b
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Define property tests. Supports the real macro's common form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn my_prop(x in 0u64..100, v in prop::collection::vec(any::<bool>(), 1..8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = result {
+                    panic!(
+                        "property `{}` failed at case {}/{}: {}",
+                        stringify!($name), case + 1, config.cases, e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}

@@ -1,7 +1,7 @@
 //! Dense conjugate gradient (CG).
 //!
-//! The paper's second distributed use-case (§6): a dense CG built on StarPU
-//! + MKL. CG is dominated by the matrix–vector product (`2n²` flops over
+//! The paper's second distributed use-case (§6): a dense CG built on
+//! StarPU + MKL. CG is dominated by the matrix–vector product (`2n²` flops over
 //! `8n²` matrix bytes → 0.25 flop/B) plus dots and AXPYs (even lower
 //! intensity), so it is firmly memory-bound: at full occupancy the paper
 //! sees ~70 % of CPU stalls caused by memory accesses and up to **90 %**

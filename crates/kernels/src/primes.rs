@@ -19,7 +19,7 @@ pub fn is_prime_naive(n: u64) -> bool {
     }
     let mut d = 2;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 1;
@@ -41,7 +41,7 @@ pub fn count_primes(lo: u64, hi: u64) -> (u64, u64) {
         let mut d = 2;
         while d * d <= n {
             divisions += 1;
-            if n % d == 0 {
+            if n.is_multiple_of(d) {
                 prime = false;
                 break;
             }

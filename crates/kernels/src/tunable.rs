@@ -25,7 +25,7 @@ pub fn triad_cursor(a: &[f64], b: &[f64], scalar: f64, c: &mut [f64], cursor: u3
     for i in 0..a.len() {
         let mut acc = a[i];
         for _ in 0..cursor {
-            acc = acc + scalar * b[i];
+            acc += scalar * b[i];
         }
         c[i] = acc;
     }

@@ -21,12 +21,14 @@
 pub mod pingpong;
 
 use std::collections::VecDeque;
+use std::fmt;
 
 use freq::{Activity, FreqModel, Governor, UncorePolicy};
 use memsim::exec::{Executor, JobId, JobSpec, JobStats};
 use memsim::MemSystem;
 use netsim::{NetEvent, NetSim, NodeRef, TransferId};
-use simcore::{tags, Engine, Event, JitterFamily, SimTime};
+use simcore::faults::{FaultPlan, FaultPlanError};
+use simcore::{tags, Engine, EngineError, Event, JitterFamily, SimTime};
 use topology::{CoreId, MachineSpec, NumaId, Placement};
 
 /// A request handle for a non-blocking operation.
@@ -37,7 +39,62 @@ pub struct ReqId(u32);
 enum ReqState {
     Pending,
     Complete,
+    /// The underlying transfer exhausted its retransmission budget.
+    Failed,
 }
+
+/// Why a simulation drive could not complete.
+#[derive(Clone, Debug)]
+pub enum ClusterError {
+    /// The engine wedged: a deadlock or a blown simulated-time budget.
+    Wedged(EngineError),
+    /// The simulation ran dry while requests were still outstanding.
+    Dry {
+        /// Send requests never completed.
+        pending_sends: usize,
+        /// Receive requests never completed.
+        pending_recvs: usize,
+    },
+    /// A transfer gave up after exhausting its retransmissions.
+    TransferFailed {
+        /// The send request that failed.
+        send: ReqId,
+        /// Retransmissions attempted.
+        retries: u32,
+    },
+    /// The injected fault plan failed validation.
+    BadFaultPlan(FaultPlanError),
+}
+
+impl From<FaultPlanError> for ClusterError {
+    fn from(e: FaultPlanError) -> Self {
+        ClusterError::BadFaultPlan(e)
+    }
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Wedged(e) => write!(f, "cluster wedged: {}", e),
+            ClusterError::Dry {
+                pending_sends,
+                pending_recvs,
+            } => write!(
+                f,
+                "simulation ran dry with {} send(s) and {} receive(s) pending",
+                pending_sends, pending_recvs
+            ),
+            ClusterError::TransferFailed { send, retries } => write!(
+                f,
+                "send request {:?} failed after {} retransmissions",
+                send, retries
+            ),
+            ClusterError::BadFaultPlan(e) => write!(f, "invalid fault plan: {}", e),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
 
 #[derive(Clone, Debug)]
 struct SendReq {
@@ -65,6 +122,12 @@ pub struct SendRecord {
     pub size: usize,
     /// Time from submission to last byte out of the sender.
     pub elapsed: SimTime,
+    /// Rendezvous retransmissions this send needed (0 on a healthy fabric).
+    pub retries: u32,
+    /// Control-message bytes re-sent across the wire.
+    pub retrans_bytes: u64,
+    /// Simulated time spent waiting in expired retransmission timeouts.
+    pub retry_wait: SimTime,
 }
 
 impl SendRecord {
@@ -81,6 +144,14 @@ pub enum ClusterEvent {
     SendComplete(ReqId),
     /// A receive request completed (payload delivered and processed).
     RecvComplete(ReqId),
+    /// A send request gave up after exhausting its retransmissions (only
+    /// possible under an injected fault plan).
+    SendFailed {
+        /// The failed send request.
+        req: ReqId,
+        /// Retransmissions attempted.
+        retries: u32,
+    },
     /// A compute job finished on a node.
     JobDone {
         /// Node index.
@@ -124,6 +195,8 @@ pub struct Cluster {
     transfer_req: Vec<(TransferId, u32, u32, usize)>,
     profile: Vec<SendRecord>,
     profiling: bool,
+    /// Injected faults (empty when healthy); kept for straggler re-application.
+    fault_plan: FaultPlan,
 }
 
 impl Cluster {
@@ -153,7 +226,7 @@ impl Cluster {
             f.set_activity(resolved.comm_core, Activity::Light);
             m.apply_freqs(&mut engine, f);
         }
-        let net = NetSim::build(&mut engine, spec);
+        let mut net = NetSim::build(&mut engine, spec);
         let uncore = [freqs[0].uncore_freq(), freqs[1].uncore_freq()];
         net.apply_uncore(&mut engine, spec, uncore);
         Cluster {
@@ -172,7 +245,29 @@ impl Cluster {
             transfer_req: Vec::new(),
             profile: Vec::new(),
             profiling: false,
+            fault_plan: FaultPlan::default(),
         }
+    }
+
+    /// Install a fault plan: network windows/drops go to [`NetSim`], and
+    /// straggler cores are pinned below nominal frequency (re-applied after
+    /// every frequency change). Identical seeds replay identical faults.
+    pub fn apply_faults(&mut self, plan: &FaultPlan) -> Result<(), FaultPlanError> {
+        self.net.apply_faults(&mut self.engine, plan)?;
+        self.fault_plan = plan.clone();
+        self.refresh_uncore();
+        Ok(())
+    }
+
+    /// The currently installed fault plan (empty when healthy).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// Arm the engine's quiescence watchdog: any attempt to simulate past
+    /// `budget` surfaces as [`ClusterError::Wedged`] from [`Cluster::try_step`].
+    pub fn set_time_budget(&mut self, budget: Option<SimTime>) {
+        self.engine.set_time_budget(budget);
     }
 
     /// Compute cores available on each node under the current placement
@@ -233,6 +328,15 @@ impl Cluster {
     fn refresh_uncore(&mut self) {
         let u = [self.freqs[0].uncore_freq(), self.freqs[1].uncore_freq()];
         self.net.apply_uncore(&mut self.engine, &self.spec, u);
+        // Straggler cores: cap the core's cycle budget below what the
+        // frequency model just applied. Idempotent, so safe to re-run after
+        // every frequency change.
+        for s in &self.fault_plan.stragglers {
+            let core = CoreId(s.core as u32);
+            let f = self.freqs[s.node].core_freq(core);
+            self.engine
+                .set_capacity(self.mem[s.node].core_resource(core), f * 1e9 * s.factor);
+        }
     }
 
     /// Non-blocking send of `size` bytes from `from` to the other node.
@@ -320,16 +424,64 @@ impl Cluster {
         self.recvs[req.0 as usize].state == ReqState::Complete
     }
 
+    /// True if the send's transfer failed permanently (fault injection).
+    pub fn send_failed(&self, req: ReqId) -> bool {
+        self.sends[req.0 as usize].state == ReqState::Failed
+    }
+
+    /// True if the receive's matched transfer failed permanently.
+    pub fn recv_failed(&self, req: ReqId) -> bool {
+        self.recvs[req.0 as usize].state == ReqState::Failed
+    }
+
     /// Sender-side elapsed time of a completed send.
     pub fn send_elapsed(&self, req: ReqId) -> Option<SimTime> {
         self.sends[req.0 as usize].elapsed
     }
 
+    /// Retransmission accounting for a send request (zeroes when healthy).
+    pub fn send_retry_stats(&self, req: ReqId) -> netsim::RetryStats {
+        let (transfer, ..) = *self
+            .transfer_req
+            .iter()
+            .find(|(_, s, _, _)| *s == req.0)
+            .expect("known send request");
+        self.net.retry_stats(transfer)
+    }
+
+    /// Number of send requests still pending.
+    pub fn pending_sends(&self) -> usize {
+        self.sends
+            .iter()
+            .filter(|s| s.state == ReqState::Pending)
+            .count()
+    }
+
+    /// Number of receive requests still pending.
+    pub fn pending_recvs(&self) -> usize {
+        self.recvs
+            .iter()
+            .filter(|r| r.state == ReqState::Pending)
+            .count()
+    }
+
     /// Advance the simulation by one event. Returns `None` when the engine
-    /// is dry.
+    /// is dry. Panics if the engine wedges; use [`Cluster::try_step`] for a
+    /// typed error instead.
     pub fn step(&mut self) -> Option<ClusterEvent> {
+        match self.try_step() {
+            Ok(ev) => ev,
+            Err(e) => panic!("{}", e),
+        }
+    }
+
+    /// Advance the simulation by one event. `Ok(None)` means the engine ran
+    /// dry; [`ClusterError::Wedged`] carries the engine's stall diagnostic.
+    pub fn try_step(&mut self) -> Result<Option<ClusterEvent>, ClusterError> {
         loop {
-            let ev = self.engine.next()?;
+            let Some(ev) = self.engine.try_next().map_err(ClusterError::Wedged)? else {
+                return Ok(None);
+            };
             match simcore::namespace(ev.tag()) {
                 tags::ns::NET => {
                     let outs = {
@@ -346,7 +498,7 @@ impl Cluster {
                         self.net.on_event(&mut self.engine, [&n0, &n1], &ev)
                     };
                     if let Some(out) = self.apply_net_events(outs) {
-                        return Some(out);
+                        return Ok(Some(out));
                     }
                 }
                 tags::ns::COMPUTE => {
@@ -367,10 +519,10 @@ impl Cluster {
                     let (m, f) = (&self.mem[other], &self.freqs[other]);
                     self.exec[other].refresh_caps(&mut self.engine, m, f);
                     if let Some((job, stats)) = done {
-                        return Some(ClusterEvent::JobDone { node, job, stats });
+                        return Ok(Some(ClusterEvent::JobDone { node, job, stats }));
                     }
                 }
-                _ => return Some(ClusterEvent::Other(ev)),
+                _ => return Ok(Some(ClusterEvent::Other(ev))),
             }
         }
     }
@@ -389,10 +541,14 @@ impl Cluster {
                     s.state = ReqState::Complete;
                     s.elapsed = Some(sender_elapsed);
                     if self.profiling {
+                        let rs = self.net.retry_stats(id);
                         self.profile.push(SendRecord {
                             node: from,
                             size: s.size,
                             elapsed: sender_elapsed,
+                            retries: rs.retries,
+                            retrans_bytes: rs.retrans_bytes,
+                            retry_wait: rs.retry_wait,
                         });
                     }
                     ret.get_or_insert(ClusterEvent::SendComplete(ReqId(sreq)));
@@ -410,6 +566,24 @@ impl Cluster {
                         // Arrived before any receive was posted.
                         u.4 = true;
                     }
+                }
+                NetEvent::Failed { id, retries } => {
+                    let (_, sreq, _, _) = *self
+                        .transfer_req
+                        .iter()
+                        .find(|(t, _, _, _)| *t == id)
+                        .expect("known transfer");
+                    self.sends[sreq as usize].state = ReqState::Failed;
+                    // The matched receive (or queued unexpected arrival)
+                    // will never complete either.
+                    if let Some(ri) = self.recvs.iter().position(|r| r.matched == Some(id)) {
+                        self.recvs[ri].state = ReqState::Failed;
+                    }
+                    self.unexpected.retain(|&(_, _, _, t, _)| t != id);
+                    ret.get_or_insert(ClusterEvent::SendFailed {
+                        req: ReqId(sreq),
+                        retries,
+                    });
                 }
             }
         }
@@ -437,18 +611,15 @@ impl Cluster {
             return None;
         }
         let timer = self.engine.at(deadline, sentinel_tag);
-        loop {
-            let ev = self.step();
-            match ev {
-                Some(ClusterEvent::Other(e)) if e.tag() == sentinel_tag => return None,
-                Some(other) => {
-                    self.engine.cancel_timer(timer);
-                    return Some(other);
-                }
-                None => {
-                    self.engine.cancel_timer(timer);
-                    return None;
-                }
+        match self.step() {
+            Some(ClusterEvent::Other(e)) if e.tag() == sentinel_tag => None,
+            Some(other) => {
+                self.engine.cancel_timer(timer);
+                Some(other)
+            }
+            None => {
+                self.engine.cancel_timer(timer);
+                None
             }
         }
     }

@@ -7,7 +7,7 @@
 
 use simcore::SimTime;
 
-use crate::{Cluster, ClusterEvent};
+use crate::{Cluster, ClusterError, ClusterEvent};
 
 /// Ping-pong parameters.
 #[derive(Clone, Copy, Debug)]
@@ -88,48 +88,80 @@ pub fn run(cluster: &mut Cluster, cfg: PingPongConfig) -> PingPongResult {
 /// Run a ping-pong while forwarding non-ping-pong events (job completions,
 /// runtime events) to `background` — used by the three-step protocol to keep
 /// computation running beside the communication benchmark.
+///
+/// Panics if the simulation wedges or runs dry; on a faulted cluster use
+/// [`try_run_with_background`].
 pub fn run_with_background(
     cluster: &mut Cluster,
     cfg: PingPongConfig,
-    mut background: impl FnMut(&mut Cluster, ClusterEvent),
+    background: impl FnMut(&mut Cluster, ClusterEvent),
 ) -> PingPongResult {
+    match try_run_with_background(cluster, cfg, background) {
+        Ok(res) => res,
+        Err(e) => panic!("ping-pong cannot complete: {}", e),
+    }
+}
+
+/// Fallible [`run`]: a wedged engine, a dried-up simulation or a permanently
+/// failed transfer come back as [`ClusterError`] instead of a panic.
+pub fn try_run(cluster: &mut Cluster, cfg: PingPongConfig) -> Result<PingPongResult, ClusterError> {
+    try_run_with_background(cluster, cfg, |_, _| {})
+}
+
+/// Fallible [`run_with_background`].
+pub fn try_run_with_background(
+    cluster: &mut Cluster,
+    cfg: PingPongConfig,
+    mut background: impl FnMut(&mut Cluster, ClusterEvent),
+) -> Result<PingPongResult, ClusterError> {
     assert!(cfg.size > 0 && cfg.reps > 0);
     let mut half_rtts = Vec::with_capacity(cfg.reps as usize);
     for rep in 0..(cfg.warmup + cfg.reps) {
         let t0 = cluster.engine.now();
         // Ping: 0 → 1. Buffers are recycled (stable ids per direction).
         let r = cluster.irecv(1, cfg.mtag);
-        cluster.isend(0, cfg.size, cfg.mtag, 0x1000);
-        wait_recv(cluster, r, &mut background);
+        let s = cluster.isend(0, cfg.size, cfg.mtag, 0x1000);
+        wait_recv(cluster, r, s, &mut background)?;
         // Pong: 1 → 0.
         let r = cluster.irecv(0, cfg.mtag);
-        cluster.isend(1, cfg.size, cfg.mtag, 0x2000);
-        wait_recv(cluster, r, &mut background);
+        let s = cluster.isend(1, cfg.size, cfg.mtag, 0x2000);
+        wait_recv(cluster, r, s, &mut background)?;
         if rep >= cfg.warmup {
             let rtt = cluster.engine.now() - t0;
             half_rtts.push(rtt / 2);
         }
     }
-    PingPongResult {
+    Ok(PingPongResult {
         size: cfg.size,
         half_rtts,
-    }
+    })
 }
 
 fn wait_recv(
     cluster: &mut Cluster,
     req: crate::ReqId,
+    send: crate::ReqId,
     background: &mut impl FnMut(&mut Cluster, ClusterEvent),
-) {
+) -> Result<(), ClusterError> {
     while !cluster.test_recv(req) {
-        let ev = cluster
-            .step()
-            .expect("ping-pong cannot complete: simulation ran dry");
-        match ev {
-            ClusterEvent::RecvComplete(r) if r == req => break,
-            other => background(cluster, other),
+        if cluster.recv_failed(req) || cluster.send_failed(send) {
+            return Err(ClusterError::TransferFailed {
+                send,
+                retries: cluster.send_retry_stats(send).retries,
+            });
+        }
+        match cluster.try_step()? {
+            Some(ClusterEvent::RecvComplete(r)) if r == req => break,
+            Some(other) => background(cluster, other),
+            None => {
+                return Err(ClusterError::Dry {
+                    pending_sends: cluster.pending_sends(),
+                    pending_recvs: cluster.pending_recvs(),
+                })
+            }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]

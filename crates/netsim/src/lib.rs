@@ -27,11 +27,21 @@ use std::collections::HashSet;
 
 use freq::FreqModel;
 use memsim::{MemSystem, Requester};
-use simcore::{kind_index, split_kind_index, tag, tags, Engine, FlowSpec, ResourceId, SimTime};
+use simcore::faults::{FaultPlan, FaultPlanError, STREAM_DROP_CTS, STREAM_DROP_RTS};
+use simcore::{
+    kind_index, split_kind_index, tag, tags, Engine, FlowSpec, Pcg32, ResourceId, SimTime,
+};
 use topology::{CoreId, MachineSpec, NetworkSpec, NumaId};
 
 /// Bytes a communication core moves per cycle in the PIO copy path.
 const PIO_BYTES_PER_CYCLE: f64 = 4.0;
+
+/// Wire bytes of one rendezvous control message (RTS or CTS), counted when a
+/// retransmission occurs.
+pub const CTRL_MSG_BYTES: u64 = 64;
+
+/// Default retransmission cap before a transfer is declared failed.
+pub const DEFAULT_MAX_RETRIES: u32 = 8;
 
 /// How strongly the uncore frequency scales the NIC DMA path: the paper
 /// measures 10.1 vs 10.5 GB/s across the whole uncore range (§3.1).
@@ -73,6 +83,26 @@ pub enum NetEvent {
         /// Transfer.
         id: TransferId,
     },
+    /// The rendezvous handshake exhausted its retransmission budget (only
+    /// possible under an injected [`FaultPlan`]); the transfer is abandoned.
+    Failed {
+        /// Transfer.
+        id: TransferId,
+        /// Retransmissions attempted before giving up.
+        retries: u32,
+    },
+}
+
+/// Per-transfer retransmission accounting, kept after the transfer retires
+/// so the profiler can attribute retry costs per send.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Handshake retransmissions triggered by timeouts.
+    pub retries: u32,
+    /// Control-message bytes re-sent across the wire.
+    pub retrans_bytes: u64,
+    /// Simulated time spent waiting in expired retransmission timeouts.
+    pub retry_wait: SimTime,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -87,6 +117,13 @@ enum Step {
     DmaDone = 7,
     RecvOverhead = 8,
     RecvCtrl = 9,
+    // Fault-injection steps. The per-transfer id slot carries the fault
+    // window index for the first four, a transfer id for RtsTimeout.
+    LinkFaultStart = 10,
+    LinkFaultEnd = 11,
+    NicStallStart = 12,
+    NicStallEnd = 13,
+    RtsTimeout = 14,
 }
 
 impl Step {
@@ -102,6 +139,11 @@ impl Step {
             7 => Step::DmaDone,
             8 => Step::RecvOverhead,
             9 => Step::RecvCtrl,
+            10 => Step::LinkFaultStart,
+            11 => Step::LinkFaultEnd,
+            12 => Step::NicStallStart,
+            13 => Step::NicStallEnd,
+            14 => Step::RtsTimeout,
             _ => unreachable!("bad step"),
         }
     }
@@ -117,6 +159,18 @@ struct Transfer {
     send_done: Option<SimTime>,
     recv_ready: bool,
     awaiting_recv: bool,
+    /// The sender has issued at least one RTS.
+    rts_sent: bool,
+    /// An RTS reached the receiver.
+    rts_arrived: bool,
+    /// The receiver has issued at least one CTS.
+    cts_sent: bool,
+    /// A CTS reached the sender and the DMA is running (dedups retries).
+    dma_started: bool,
+    /// Retransmissions so far; bounds the exponential backoff.
+    retries: u32,
+    /// Current retransmission timeout (doubles per retry).
+    rto: SimTime,
 }
 
 /// The two-node network simulator.
@@ -129,10 +183,29 @@ pub struct NetSim {
     /// Wire, per direction `[0→1, 1→0]`.
     wire: [ResourceId; 2],
     transfers: Vec<Option<Transfer>>,
+    /// Parallel to `transfers`, kept after retirement for the profiler.
+    retry_stats: Vec<RetryStats>,
     reg_cache: [HashSet<u64>; 2],
     lat_mult: f64,
     bw_mult: f64,
     idle_penalty_s: f64,
+    /// Per-node DMA scale from the uncore frequency (managed by
+    /// `apply_uncore`), composed with fault windows in `refresh_caps`.
+    uncore_scale: [f64; 2],
+    /// Injected faults (empty plan when healthy).
+    faults: FaultPlan,
+    /// Which link-degradation windows are currently open.
+    degradation_active: Vec<bool>,
+    /// Open NIC-stall windows (stalls apply to both NICs).
+    stalls_active: usize,
+    /// Drop-decision streams, armed only when the plan drops messages so a
+    /// healthy run's event stream is byte-identical to pre-fault builds.
+    drop_rts_rng: Option<Pcg32>,
+    drop_cts_rng: Option<Pcg32>,
+    /// Base retransmission timeout (first retry; doubles per attempt).
+    rto_base: SimTime,
+    /// Retransmissions allowed before a transfer is declared failed.
+    max_retries: u32,
 }
 
 impl NetSim {
@@ -151,16 +224,28 @@ impl NetSim {
             engine.add_resource("wire.0to1", cfg.link_bw),
             engine.add_resource("wire.1to0", cfg.link_bw),
         ];
+        // A generous default RTO: several wire round-trips, but far below
+        // any experiment's total runtime.
+        let rto_base = SimTime::from_secs_f64(cfg.wire_latency_s * 16.0).max(SimTime::US);
         NetSim {
             cfg,
             nic_tx,
             nic_rx,
             wire,
             transfers: Vec::new(),
+            retry_stats: Vec::new(),
             reg_cache: [HashSet::new(), HashSet::new()],
             lat_mult: 1.0,
             bw_mult: 1.0,
             idle_penalty_s: spec.idle_uncore_penalty_s,
+            uncore_scale: [1.0, 1.0],
+            faults: FaultPlan::default(),
+            degradation_active: Vec::new(),
+            stalls_active: 0,
+            drop_rts_rng: None,
+            drop_cts_rng: None,
+            rto_base,
+            max_retries: DEFAULT_MAX_RETRIES,
         }
     }
 
@@ -175,25 +260,86 @@ impl NetSim {
         assert!(lat_mult > 0.0 && bw_mult > 0.0);
         self.lat_mult = lat_mult;
         self.bw_mult = bw_mult;
-        for w in self.wire {
-            engine.set_capacity(w, self.cfg.link_bw * bw_mult);
-        }
-        for n in 0..2 {
-            engine.set_capacity(self.nic_tx[n], self.cfg.dma_bw * bw_mult);
-            engine.set_capacity(self.nic_rx[n], self.cfg.dma_bw * bw_mult);
-        }
+        self.refresh_caps(engine);
     }
 
     /// Scale the DMA path with each node's uncore frequency (the ±4 %
     /// bandwidth effect of §3.1).
-    pub fn apply_uncore(&self, engine: &mut Engine, spec: &MachineSpec, uncore: [f64; 2]) {
+    pub fn apply_uncore(&mut self, engine: &mut Engine, spec: &MachineSpec, uncore: [f64; 2]) {
         for (n, &u) in uncore.iter().enumerate() {
             let (lo, hi) = spec.uncore_range;
             let t = ((u - lo) / (hi - lo)).clamp(0.0, 1.0);
-            let cap = self.cfg.dma_bw * self.bw_mult * (1.0 - DMA_UNCORE_SPAN * (1.0 - t));
+            self.uncore_scale[n] = 1.0 - DMA_UNCORE_SPAN * (1.0 - t);
+        }
+        self.refresh_caps(engine);
+    }
+
+    /// Recompute wire and NIC capacities from the composition of jitter,
+    /// uncore scaling and currently open fault windows.
+    fn refresh_caps(&self, engine: &mut Engine) {
+        let degrade: f64 = self
+            .faults
+            .link_degradations
+            .iter()
+            .zip(&self.degradation_active)
+            .filter(|(_, &on)| on)
+            .map(|(d, _)| d.factor)
+            .product();
+        for w in self.wire {
+            engine.set_capacity(w, self.cfg.link_bw * self.bw_mult * degrade);
+        }
+        let nic_mult = if self.stalls_active > 0 { 0.0 } else { 1.0 };
+        for n in 0..2 {
+            let cap = self.cfg.dma_bw * self.bw_mult * self.uncore_scale[n] * nic_mult;
             engine.set_capacity(self.nic_tx[n], cap);
             engine.set_capacity(self.nic_rx[n], cap);
         }
+    }
+
+    /// Install a fault plan: schedules every degradation/stall window on the
+    /// engine and arms the control-message drop streams. Call at most once
+    /// per run, before traffic starts. An empty plan changes nothing — the
+    /// event stream stays identical to a build without fault support.
+    pub fn apply_faults(
+        &mut self,
+        engine: &mut Engine,
+        plan: &FaultPlan,
+    ) -> Result<(), FaultPlanError> {
+        plan.validate()?;
+        self.faults = plan.clone();
+        self.degradation_active = vec![false; plan.link_degradations.len()];
+        self.stalls_active = 0;
+        for (i, d) in plan.link_degradations.iter().enumerate() {
+            engine.at(d.start, self.window_tag(Step::LinkFaultStart, i));
+            engine.at(d.end, self.window_tag(Step::LinkFaultEnd, i));
+        }
+        for (i, s) in plan.nic_stalls.iter().enumerate() {
+            engine.at(s.start, self.window_tag(Step::NicStallStart, i));
+            engine.at(s.end, self.window_tag(Step::NicStallEnd, i));
+        }
+        self.drop_rts_rng = (plan.drop_rts > 0.0).then(|| plan.stream(STREAM_DROP_RTS));
+        self.drop_cts_rng = (plan.drop_cts > 0.0).then(|| plan.stream(STREAM_DROP_CTS));
+        Ok(())
+    }
+
+    /// Override the rendezvous retransmission policy.
+    pub fn set_retry_policy(&mut self, rto_base: SimTime, max_retries: u32) {
+        assert!(!rto_base.is_zero(), "zero retransmission timeout");
+        self.rto_base = rto_base;
+        self.max_retries = max_retries;
+    }
+
+    /// Retransmission accounting for a transfer (live or retired).
+    pub fn retry_stats(&self, id: TransferId) -> RetryStats {
+        self.retry_stats[id.0 as usize]
+    }
+
+    /// Total payload bytes actually delivered across the wire in either
+    /// direction (control messages are modelled as pure latency and carry no
+    /// wire volume). Retransmitted control bytes are tracked separately in
+    /// [`RetryStats::retrans_bytes`].
+    pub fn wire_delivered(&self, engine: &Engine) -> f64 {
+        self.wire.iter().map(|&w| engine.delivered(w)).sum()
     }
 
     /// Drop both registration caches (ablation hook).
@@ -204,6 +350,12 @@ impl NetSim {
 
     fn step_tag(&self, id: TransferId, step: Step) -> u64 {
         tag(tags::ns::NET, kind_index(step as u32, id.0))
+    }
+
+    /// Tag for a fault-window edge; the transfer-id slot carries the window
+    /// index instead.
+    fn window_tag(&self, step: Step, window: usize) -> u64 {
+        tag(tags::ns::NET, kind_index(step as u32, window as u32))
     }
 
     /// True if an event tag belongs to netsim.
@@ -219,6 +371,7 @@ impl NetSim {
 
     /// Begin a send of `size` bytes from `from_node`'s `data_numa` to the
     /// other node's `dest_numa`. `buffer` keys the registration cache.
+    #[allow(clippy::too_many_arguments)]
     pub fn start_send(
         &mut self,
         engine: &mut Engine,
@@ -240,7 +393,14 @@ impl NetSim {
             send_done: None,
             recv_ready: false,
             awaiting_recv: false,
+            rts_sent: false,
+            rts_arrived: false,
+            cts_sent: false,
+            dma_started: false,
+            retries: 0,
+            rto: self.rto_base,
         }));
+        self.retry_stats.push(RetryStats::default());
         // Step 1: software overhead — cycles on the communication core.
         let cycles = self.cfg.sw_overhead_cycles * 0.5;
         engine.start_flow(FlowSpec {
@@ -269,6 +429,23 @@ impl NetSim {
     }
 
     fn send_cts(&mut self, engine: &mut Engine, id: TransferId) {
+        let tid = id.0 as usize;
+        let resend = {
+            let t = self.transfers[tid].as_mut().expect("live transfer");
+            let resend = t.cts_sent;
+            t.cts_sent = true;
+            resend
+        };
+        if resend {
+            self.retry_stats[tid].retrans_bytes += CTRL_MSG_BYTES;
+        }
+        // Fault injection: the CTS may be lost on the wire. The sender's
+        // retransmission timeout will eventually re-drive the handshake.
+        if let Some(rng) = &mut self.drop_cts_rng {
+            if rng.next_f64() < self.faults.drop_cts {
+                return;
+            }
+        }
         // CTS crosses the wire back to the sender.
         let lat = SimTime::from_secs_f64(self.cfg.wire_latency_s * self.lat_mult);
         engine.after(lat, self.step_tag(id, Step::CtsArrived));
@@ -287,6 +464,31 @@ impl NetSim {
         let step = Step::from_u32(step_raw);
         let id = TransferId(tid);
         let mut out = Vec::new();
+
+        // Fault-window edges and timeouts are not tied to a live transfer;
+        // handle them before the per-transfer prologue.
+        match step {
+            Step::LinkFaultStart | Step::LinkFaultEnd => {
+                self.degradation_active[tid as usize] = step == Step::LinkFaultStart;
+                self.refresh_caps(engine);
+                return out;
+            }
+            Step::NicStallStart => {
+                self.stalls_active += 1;
+                self.refresh_caps(engine);
+                return out;
+            }
+            Step::NicStallEnd => {
+                self.stalls_active -= 1;
+                self.refresh_caps(engine);
+                return out;
+            }
+            Step::RtsTimeout => {
+                self.on_rts_timeout(engine, id, &mut out);
+                return out;
+            }
+            _ => {}
+        }
 
         let (from, size, data_numa, dest_numa, buffer) = {
             let t = self.transfers[tid as usize].as_ref().expect("live transfer");
@@ -365,13 +567,24 @@ impl NetSim {
             }
             Step::RtsArrived => {
                 let t = self.transfers[tid as usize].as_mut().expect("live transfer");
+                t.rts_arrived = true;
                 if t.recv_ready {
+                    // Also re-sends the CTS on a duplicate RTS (the previous
+                    // CTS was dropped); `dma_started` dedups the sender side.
                     self.send_cts(engine, id);
                 } else {
                     t.awaiting_recv = true;
                 }
             }
             Step::CtsArrived => {
+                {
+                    let t = self.transfers[tid as usize].as_mut().expect("live transfer");
+                    if t.dma_started {
+                        // Duplicate CTS from a retried handshake.
+                        return out;
+                    }
+                    t.dma_started = true;
+                }
                 // DMA: the NIC pulls from sender memory and pushes into
                 // receiver memory; the weight reflects the NIC's
                 // outstanding-request aggressiveness.
@@ -420,12 +633,74 @@ impl NetSim {
                 self.transfers[tid as usize] = None;
                 out.push(NetEvent::Delivered { id });
             }
+            Step::LinkFaultStart
+            | Step::LinkFaultEnd
+            | Step::NicStallStart
+            | Step::NicStallEnd
+            | Step::RtsTimeout => unreachable!("handled before the transfer prologue"),
         }
         let _ = buffer;
         out
     }
 
+    /// A retransmission timeout expired for `id`'s rendezvous handshake.
+    fn on_rts_timeout(&mut self, engine: &mut Engine, id: TransferId, out: &mut Vec<NetEvent>) {
+        let tid = id.0 as usize;
+        let Some(t) = self.transfers[tid].as_mut() else {
+            // Transfer already delivered and retired; stale timer.
+            return;
+        };
+        if t.dma_started {
+            // Handshake succeeded before the timer fired.
+            return;
+        }
+        if t.rts_arrived && !t.cts_sent {
+            // The RTS got through but the receiver has not posted a matching
+            // receive yet — nothing was lost, so re-arm without counting a
+            // retry (the CTS path re-checks on `recv_ready`).
+            let rto = t.rto;
+            engine.after(rto, self.step_tag(id, Step::RtsTimeout));
+            return;
+        }
+        // Either the RTS or the CTS was lost: retransmit with backoff.
+        let waited = t.rto;
+        t.retries += 1;
+        t.rto = t.rto * 2;
+        let retries = t.retries;
+        let stats = &mut self.retry_stats[tid];
+        stats.retries += 1;
+        stats.retry_wait += waited;
+        if retries > self.max_retries {
+            self.transfers[tid] = None;
+            out.push(NetEvent::Failed { id, retries });
+            return;
+        }
+        self.send_rts(engine, id);
+    }
+
     fn send_rts(&mut self, engine: &mut Engine, id: TransferId) {
+        let tid = id.0 as usize;
+        let (resend, rto) = {
+            let t = self.transfers[tid].as_mut().expect("live transfer");
+            let resend = t.rts_sent;
+            t.rts_sent = true;
+            (resend, t.rto)
+        };
+        if resend {
+            self.retry_stats[tid].retrans_bytes += CTRL_MSG_BYTES;
+        }
+        // With drops armed, guard every handshake with a retransmission
+        // timeout. Healthy runs skip the timer entirely so their event
+        // streams are untouched by fault support.
+        if self.drop_rts_rng.is_some() || self.drop_cts_rng.is_some() {
+            engine.after(rto, self.step_tag(id, Step::RtsTimeout));
+        }
+        // Fault injection: the RTS may be lost on the wire.
+        if let Some(rng) = &mut self.drop_rts_rng {
+            if rng.next_f64() < self.faults.drop_rts {
+                return;
+            }
+        }
         // RTS crosses the wire.
         let lat = SimTime::from_secs_f64(self.cfg.wire_latency_s * self.lat_mult);
         engine.after(lat, self.step_tag(id, Step::RtsArrived));
@@ -509,6 +784,7 @@ mod tests {
                             send_el = Some(sender_elapsed)
                         }
                         NetEvent::Delivered { .. } => delivered = Some(w.engine.now()),
+                        NetEvent::Failed { .. } => panic!("healthy fabric cannot fail"),
                     }
                 }
             }
@@ -636,6 +912,169 @@ mod tests {
         // ~4 % effect, like the paper's 10.1 vs 10.5 GB/s.
         assert!(bw_high > bw_low * 1.02, "low {} high {}", bw_low, bw_high);
         assert!(bw_high < bw_low * 1.10);
+    }
+
+    /// Drive one message to completion or failure under faults; returns
+    /// (delivered, retry stats).
+    fn one_way_faulted(w: &mut World, size: usize, buffer: u64) -> (bool, RetryStats) {
+        let id = {
+            let n0 = NodeRef {
+                mem: &w.mem[0],
+                freqs: &w.freqs[0],
+                comm_core: w.comm_core,
+            };
+            w.net
+                .start_send(&mut w.engine, 0, &n0, size, NumaId(0), NumaId(0), buffer)
+        };
+        w.net.recv_ready(&mut w.engine, id);
+        let mut delivered = false;
+        let mut failed = false;
+        while !delivered && !failed {
+            let Some(ev) = w.engine.next() else { break };
+            if w.net.owns(ev.tag()) {
+                let n0 = NodeRef {
+                    mem: &w.mem[0],
+                    freqs: &w.freqs[0],
+                    comm_core: w.comm_core,
+                };
+                let n1 = NodeRef {
+                    mem: &w.mem[1],
+                    freqs: &w.freqs[1],
+                    comm_core: w.comm_core,
+                };
+                for out in w.net.on_event(&mut w.engine, [&n0, &n1], &ev) {
+                    match out {
+                        NetEvent::Delivered { .. } => delivered = true,
+                        NetEvent::Failed { .. } => failed = true,
+                        NetEvent::SendComplete { .. } => {}
+                    }
+                }
+            }
+        }
+        (delivered, w.net.retry_stats(id))
+    }
+
+    #[test]
+    fn cts_drops_trigger_retransmissions_then_delivery() {
+        let mut w = world();
+        let plan = FaultPlan::new(42).with_cts_drop(0.5);
+        w.net.apply_faults(&mut w.engine, &plan).unwrap();
+        let size = 4 << 20; // rendezvous
+        let mut total_retries = 0;
+        for buf in 0..8 {
+            let (delivered, rs) = one_way_faulted(&mut w, size, 100 + buf);
+            assert!(delivered, "p=0.5 with 8 retries should recover");
+            total_retries += rs.retries;
+            if rs.retries > 0 {
+                assert!(rs.retrans_bytes >= CTRL_MSG_BYTES);
+                assert!(!rs.retry_wait.is_zero());
+            }
+        }
+        assert!(total_retries > 0, "half the CTSes should have been dropped");
+    }
+
+    #[test]
+    fn certain_drops_exhaust_retries_and_fail() {
+        let mut w = world();
+        let plan = FaultPlan::new(7).with_rts_drop(1.0);
+        w.net.apply_faults(&mut w.engine, &plan).unwrap();
+        w.net.set_retry_policy(SimTime::from_micros(50), 3);
+        let (delivered, rs) = one_way_faulted(&mut w, 4 << 20, 1);
+        assert!(!delivered, "nothing can get through at p=1");
+        assert_eq!(rs.retries, 4, "3 retries plus the final give-up timeout");
+        assert!(rs.retrans_bytes >= 3 * CTRL_MSG_BYTES);
+    }
+
+    #[test]
+    fn identical_seeds_replay_identical_fault_traces() {
+        let run = |seed: u64| {
+            let mut w = world();
+            let plan = FaultPlan::new(seed).with_cts_drop(0.4).with_rts_drop(0.2);
+            w.net.apply_faults(&mut w.engine, &plan).unwrap();
+            let mut trace = Vec::new();
+            for buf in 0..6 {
+                let (delivered, rs) = one_way_faulted(&mut w, 2 << 20, buf);
+                trace.push((delivered, rs.retries, rs.retrans_bytes, w.engine.now()));
+            }
+            trace
+        };
+        assert_eq!(run(1234), run(1234), "same seed must replay exactly");
+        assert_ne!(run(1234), run(4321), "different seeds should diverge");
+    }
+
+    #[test]
+    fn link_degradation_window_slows_transfer() {
+        // Healthy baseline.
+        let mut w = world();
+        let size = 64 << 20;
+        let (_, _) = one_way(&mut w, size, 1); // warm registration cache
+        let t0 = w.engine.now();
+        let (healthy, _) = one_way(&mut w, size, 1);
+        drop(w);
+
+        // Same transfer with the wire degraded to 25 % for a window that
+        // covers it.
+        let mut w = world();
+        let plan = FaultPlan::new(0).with_link_degradation(
+            SimTime::ZERO,
+            t0 + SimTime::SEC * 10,
+            0.25,
+        );
+        w.net.apply_faults(&mut w.engine, &plan).unwrap();
+        let (_, _) = one_way(&mut w, size, 1);
+        let (degraded, _) = one_way(&mut w, size, 1);
+        assert!(
+            degraded.as_secs_f64() > healthy.as_secs_f64() * 1.5,
+            "healthy {:?} degraded {:?}",
+            healthy,
+            degraded
+        );
+    }
+
+    #[test]
+    fn nic_stall_window_pauses_then_resumes() {
+        let mut w = world();
+        let size = 16 << 20;
+        let (_, _) = one_way(&mut w, size, 1);
+        let healthy = {
+            let t0 = w.engine.now();
+            let (lat, _) = one_way(&mut w, size, 1);
+            let _ = t0;
+            lat
+        };
+        drop(w);
+
+        let mut w = world();
+        // Stall both NICs for 5 ms starting almost immediately.
+        let stall = SimTime::from_millis(5);
+        let plan = FaultPlan::new(0).with_nic_stall(SimTime::from_micros(10), SimTime::from_micros(10) + stall);
+        w.net.apply_faults(&mut w.engine, &plan).unwrap();
+        let (stalled, _) = one_way(&mut w, size, 1);
+        // The transfer must still complete, later than healthy by roughly
+        // the stall length (registration happens inside the stall here, so
+        // only a lower bound is asserted).
+        assert!(
+            stalled.as_secs_f64() > healthy.as_secs_f64(),
+            "stalled {:?} healthy {:?}",
+            stalled,
+            healthy
+        );
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let mut base = world();
+        let (lat_base, _) = one_way(&mut base, 4 << 20, 1);
+        let t_base = base.engine.now();
+
+        let mut faulted = world();
+        faulted
+            .net
+            .apply_faults(&mut faulted.engine, &FaultPlan::new(99))
+            .unwrap();
+        let (lat_faulted, _) = one_way(&mut faulted, 4 << 20, 1);
+        assert_eq!(lat_base, lat_faulted);
+        assert_eq!(t_base, faulted.engine.now());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
 
 use crate::fluid::{FlowId, FlowReport, FlowSpec, FluidNet, ResourceId};
 use crate::time::SimTime;
@@ -52,6 +53,85 @@ struct TimerEntry {
     tag: u64,
 }
 
+/// What the event loop was still holding when it wedged. Attached to every
+/// [`EngineError`] so a hung experiment reports *which* timers and flows were
+/// outstanding instead of spinning or dying with a bare assert.
+#[derive(Clone, Debug)]
+pub struct StallDiagnostic {
+    /// Simulated time at which the stall was detected.
+    pub now: SimTime,
+    /// Tags of timers still scheduled (cancelled ones excluded).
+    pub pending_timer_tags: Vec<u64>,
+    /// Active flows as `(tag, remaining_units, rate_units_per_s)`.
+    pub pending_flows: Vec<(u64, f64, f64)>,
+}
+
+impl StallDiagnostic {
+    /// True when nothing at all was outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.pending_timer_tags.is_empty() && self.pending_flows.is_empty()
+    }
+}
+
+impl fmt::Display for StallDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "at t={:.6}s: {} pending timer(s), {} active flow(s)",
+            self.now.as_secs_f64(),
+            self.pending_timer_tags.len(),
+            self.pending_flows.len()
+        )?;
+        for &tag in self.pending_timer_tags.iter().take(8) {
+            write!(f, "; timer tag {:#x}", tag)?;
+        }
+        for &(tag, remaining, rate) in self.pending_flows.iter().take(8) {
+            write!(
+                f,
+                "; flow tag {:#x} remaining {:.3e} rate {:.3e}",
+                tag, remaining, rate
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Why [`Engine::try_next`] could not produce an event.
+#[derive(Clone, Debug)]
+pub enum EngineError {
+    /// Flows are active but none can progress (e.g. all their resources have
+    /// zero capacity) and no timer will ever unblock them: the model is
+    /// deadlocked.
+    Stalled(StallDiagnostic),
+    /// The next event lies beyond the configured simulated-time budget
+    /// ([`Engine::set_time_budget`]): the run is taking implausibly long,
+    /// usually a sign of a lost completion or an unbounded retry loop.
+    BudgetExceeded {
+        /// The configured budget that was exceeded.
+        budget: SimTime,
+        /// What was still outstanding when the budget tripped.
+        diagnostic: StallDiagnostic,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Stalled(d) => {
+                write!(f, "simulation deadlock: no event can make progress ({})", d)
+            }
+            EngineError::BudgetExceeded { budget, diagnostic } => write!(
+                f,
+                "simulated-time budget of {:.6}s exceeded ({})",
+                budget.as_secs_f64(),
+                diagnostic
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// The simulation engine. See module docs.
 pub struct Engine {
     now: SimTime,
@@ -63,6 +143,8 @@ pub struct Engine {
     /// Completed flows not yet handed out (a single `elapse` can finish
     /// several flows at the same instant).
     pending: Vec<Event>,
+    /// Optional watchdog: `try_next` refuses to advance past this instant.
+    budget: Option<SimTime>,
 }
 
 impl Engine {
@@ -76,6 +158,7 @@ impl Engine {
             next_timer: 0,
             seq: 0,
             pending: Vec::new(),
+            budget: None,
         }
     }
 
@@ -184,12 +267,58 @@ impl Engine {
         }
     }
 
+    /// Arm (or with `None` disarm) the simulated-time watchdog: once set,
+    /// [`Engine::try_next`] returns [`EngineError::BudgetExceeded`] instead of
+    /// advancing past `budget`. A run that legitimately needs more simulated
+    /// time can raise the budget and continue.
+    pub fn set_time_budget(&mut self, budget: Option<SimTime>) {
+        self.budget = budget;
+    }
+
+    /// The currently armed simulated-time budget, if any.
+    pub fn time_budget(&self) -> Option<SimTime> {
+        self.budget
+    }
+
+    /// Snapshot of everything still outstanding (for error reporting).
+    pub fn stall_diagnostic(&self) -> StallDiagnostic {
+        let pending_timer_tags = self
+            .timers
+            .iter()
+            .filter(|Reverse(e)| !self.cancelled.contains(&e.id))
+            .map(|Reverse(e)| e.tag)
+            .collect();
+        StallDiagnostic {
+            now: self.now,
+            pending_timer_tags,
+            pending_flows: self.net.flow_snapshots(),
+        }
+    }
+
     /// Advance to and return the next completion event, or `None` when the
     /// simulation has run dry (no timers, no active flows).
+    ///
+    /// Panics on a model deadlock; use [`Engine::try_next`] to get a typed
+    /// [`EngineError`] with diagnostics instead.
+    // Long-standing public API; the engine is deliberately not an Iterator
+    // (stepping mutates shared resource state between calls).
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<Event> {
+        match self.try_next() {
+            Ok(ev) => ev,
+            Err(e) => panic!("{}", e),
+        }
+    }
+
+    /// Like [`Engine::next`], but surfaces wedged states as typed errors:
+    /// a deadlock (active flows that can never progress) or a blown
+    /// simulated-time budget both return `Err` with a [`StallDiagnostic`]
+    /// naming the outstanding timers and flows. The engine state is left
+    /// untouched on error, so callers can raise the budget and retry.
+    pub fn try_next(&mut self) -> Result<Option<Event>, EngineError> {
         loop {
             if let Some(ev) = self.pending.pop() {
-                return Some(ev);
+                return Ok(Some(ev));
             }
             self.refresh();
 
@@ -217,21 +346,28 @@ impl Engine {
                 // Only "endless" flows remain (background polling traffic
                 // whose completion horizon saturates SimTime): the
                 // simulation is effectively dry.
-                (None, Some(f)) if f == SimTime::MAX => return None,
+                (None, Some(f)) if f == SimTime::MAX => return Ok(None),
                 (None, None) => {
                     // Dry: if flows exist but are all stalled (rate 0), this
                     // is a deadlock in the model — surface it loudly.
-                    assert!(
-                        self.net.active_flows() == 0,
-                        "simulation deadlock: {} flows active but none progressing",
-                        self.net.active_flows()
-                    );
-                    return None;
+                    if self.net.active_flows() > 0 {
+                        return Err(EngineError::Stalled(self.stall_diagnostic()));
+                    }
+                    return Ok(None);
                 }
                 (Some(t), None) => t,
                 (None, Some(f)) => f,
                 (Some(t), Some(f)) => t.min(f),
             };
+
+            if let Some(budget) = self.budget {
+                if target > budget {
+                    return Err(EngineError::BudgetExceeded {
+                        budget,
+                        diagnostic: self.stall_diagnostic(),
+                    });
+                }
+            }
 
             let dt = (target - self.now).as_secs_f64();
             let done = self.net.elapse(dt);
@@ -283,6 +419,18 @@ impl Engine {
         while let Some(ev) = self.next() {
             handler(self, ev);
         }
+    }
+
+    /// Fallible [`Engine::run`]: stops with the [`EngineError`] if the loop
+    /// wedges instead of panicking.
+    pub fn try_run<F: FnMut(&mut Engine, Event)>(
+        &mut self,
+        mut handler: F,
+    ) -> Result<(), EngineError> {
+        while let Some(ev) = self.try_next()? {
+            handler(self, ev);
+        }
+        Ok(())
     }
 
     /// Run until the given deadline (events at exactly `deadline` included).
@@ -465,6 +613,82 @@ mod tests {
             tag: 1,
         });
         let _ = e.next();
+    }
+
+    #[test]
+    fn stalled_flow_yields_typed_error_with_diagnostic() {
+        // A transfer that can never complete: its only resource has zero
+        // capacity and no timer will ever change that.
+        let mut e = Engine::new();
+        let r = e.add_resource("off", 0.0);
+        e.start_flow(FlowSpec {
+            path: vec![r],
+            volume: 42.0,
+            weight: 1.0,
+            cap: None,
+            tag: 0xBEEF,
+        });
+        let err = e.try_next().expect_err("must not hang or succeed");
+        match &err {
+            EngineError::Stalled(d) => {
+                assert!(!d.is_empty(), "diagnostic must name pending work");
+                assert_eq!(d.pending_flows.len(), 1);
+                let (tag, remaining, rate) = d.pending_flows[0];
+                assert_eq!(tag, 0xBEEF);
+                assert_eq!(remaining, 42.0);
+                assert_eq!(rate, 0.0);
+            }
+            other => panic!("expected Stalled, got {:?}", other),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("deadlock"), "{}", msg);
+        assert!(msg.contains("0xbeef"), "{}", msg);
+        // The error is stable: asking again reports the same stall rather
+        // than looping forever.
+        assert!(matches!(e.try_next(), Err(EngineError::Stalled(_))));
+    }
+
+    #[test]
+    fn time_budget_trips_with_diagnostic() {
+        let mut e = Engine::new();
+        e.set_time_budget(Some(SimTime::SEC));
+        e.after(SimTime::from_micros(10), 1);
+        e.after(SimTime::SEC * 10, 0xDEAD);
+        // The early timer is within budget.
+        assert_eq!(e.try_next().unwrap().unwrap().tag(), 1);
+        // The late one trips the watchdog without advancing time.
+        let err = e.try_next().expect_err("beyond budget");
+        match &err {
+            EngineError::BudgetExceeded { budget, diagnostic } => {
+                assert_eq!(*budget, SimTime::SEC);
+                assert_eq!(diagnostic.pending_timer_tags, vec![0xDEAD]);
+            }
+            other => panic!("expected BudgetExceeded, got {:?}", other),
+        }
+        assert_eq!(e.now(), SimTime::from_micros(10));
+        // Raising the budget lets the run continue.
+        e.set_time_budget(Some(SimTime::SEC * 20));
+        assert_eq!(e.try_next().unwrap().unwrap().tag(), 0xDEAD);
+        assert!(e.try_next().unwrap().is_none());
+    }
+
+    #[test]
+    fn try_run_reports_wedge() {
+        let mut e = Engine::new();
+        let r = e.add_resource("off", 0.0);
+        // A timer fires first, then the stalled flow wedges the loop.
+        e.after(SimTime::from_micros(1), 7);
+        e.start_flow(FlowSpec {
+            path: vec![r],
+            volume: 1.0,
+            weight: 1.0,
+            cap: None,
+            tag: 8,
+        });
+        let mut seen = Vec::new();
+        let err = e.try_run(|_, ev| seen.push(ev.tag())).unwrap_err();
+        assert_eq!(seen, vec![7]);
+        assert!(matches!(err, EngineError::Stalled(_)));
     }
 
     #[test]

@@ -417,6 +417,15 @@ impl FluidNet {
         done
     }
 
+    /// Snapshot of every active flow as `(tag, remaining, rate)`, in id
+    /// order. Used by the engine's stall diagnostics.
+    pub fn flow_snapshots(&self) -> Vec<(u64, f64, f64)> {
+        self.flows
+            .iter()
+            .map(|f| (f.tag, f.remaining, f.rate))
+            .collect()
+    }
+
     /// Seconds until the earliest flow completion at current rates.
     pub fn time_to_next_completion(&self) -> Option<f64> {
         self.flows

@@ -17,6 +17,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod engine;
+pub mod faults;
 pub mod fluid;
 pub mod rng;
 pub mod stats;
@@ -24,7 +25,8 @@ pub mod tags;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Engine, Event, TimerId};
+pub use engine::{Engine, EngineError, Event, StallDiagnostic, TimerId};
+pub use faults::{FaultPlan, FaultPlanError, LinkDegradation, NicStall, StragglerCore};
 pub use fluid::{FlowId, FlowReport, FlowSpec, FluidNet, ResourceId};
 pub use rng::{JitterFamily, Pcg32, SplitMix64};
 pub use stats::{quantile, Series, SeriesPoint, Summary};

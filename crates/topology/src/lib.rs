@@ -14,5 +14,6 @@ pub mod presets;
 
 pub use machine::{
     BindingPolicy, CoreId, MachineSpec, NetworkKind, NetworkSpec, NumaId, Placement, SocketId,
+    TopologyError,
 };
 pub use presets::{billy, bora, henri, pyxis, tiny2x2, Preset};

@@ -4,11 +4,58 @@
 //! All bandwidths are bytes/s, all frequencies GHz, all latencies seconds
 //! (converted to `SimTime` by the simulator crates).
 
+use std::fmt;
+
 /// Identifies a core by its *logical number*, following the host's logical
 /// numbering exactly as the paper does ("computing threads are bound to
 /// cores respecting the order of the logical core numbering").
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct CoreId(pub u32);
+
+/// Why a topology lookup or placement resolution failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A core id is not on this machine.
+    CoreOutOfRange {
+        /// The offending core.
+        core: CoreId,
+        /// Number of cores on the machine.
+        count: u32,
+    },
+    /// A NUMA id is not on this machine.
+    NumaOutOfRange {
+        /// The offending NUMA node.
+        numa: NumaId,
+        /// Number of NUMA nodes on the machine.
+        count: u32,
+    },
+    /// A far-from-NIC placement was requested on a machine where every NUMA
+    /// node shares the NIC's socket.
+    NoFarNuma {
+        /// Number of sockets on the machine.
+        sockets: u32,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::CoreOutOfRange { core, count } => {
+                write!(f, "core {:?} out of range (machine has {} cores)", core, count)
+            }
+            TopologyError::NumaOutOfRange { numa, count } => {
+                write!(f, "numa {:?} out of range (machine has {} NUMA nodes)", numa, count)
+            }
+            TopologyError::NoFarNuma { sockets } => write!(
+                f,
+                "far NUMA requires at least two sockets (machine has {})",
+                sockets
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
 
 /// Identifies a NUMA node.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -143,15 +190,45 @@ impl MachineSpec {
     }
 
     /// NUMA node of a core. Logical numbering fills NUMA nodes in order.
+    ///
+    /// Panics on out-of-range cores; see [`MachineSpec::try_numa_of_core`].
     pub fn numa_of_core(&self, core: CoreId) -> NumaId {
-        assert!(core.0 < self.core_count(), "core {:?} out of range", core);
-        NumaId(core.0 / self.cores_per_numa)
+        match self.try_numa_of_core(core) {
+            Ok(n) => n,
+            Err(e) => panic!("{}", e),
+        }
+    }
+
+    /// Fallible [`MachineSpec::numa_of_core`].
+    pub fn try_numa_of_core(&self, core: CoreId) -> Result<NumaId, TopologyError> {
+        if core.0 >= self.core_count() {
+            return Err(TopologyError::CoreOutOfRange {
+                core,
+                count: self.core_count(),
+            });
+        }
+        Ok(NumaId(core.0 / self.cores_per_numa))
     }
 
     /// Socket of a NUMA node.
+    ///
+    /// Panics on out-of-range nodes; see [`MachineSpec::try_socket_of_numa`].
     pub fn socket_of_numa(&self, numa: NumaId) -> SocketId {
-        assert!(numa.0 < self.numa_count(), "numa {:?} out of range", numa);
-        SocketId(numa.0 / self.numa_per_socket)
+        match self.try_socket_of_numa(numa) {
+            Ok(s) => s,
+            Err(e) => panic!("{}", e),
+        }
+    }
+
+    /// Fallible [`MachineSpec::socket_of_numa`].
+    pub fn try_socket_of_numa(&self, numa: NumaId) -> Result<SocketId, TopologyError> {
+        if numa.0 >= self.numa_count() {
+            return Err(TopologyError::NumaOutOfRange {
+                numa,
+                count: self.numa_count(),
+            });
+        }
+        Ok(SocketId(numa.0 / self.numa_per_socket))
     }
 
     /// Socket of a core.
@@ -159,11 +236,31 @@ impl MachineSpec {
         self.socket_of_numa(self.numa_of_core(core))
     }
 
+    /// Fallible [`MachineSpec::socket_of_core`].
+    pub fn try_socket_of_core(&self, core: CoreId) -> Result<SocketId, TopologyError> {
+        self.try_socket_of_numa(self.try_numa_of_core(core)?)
+    }
+
     /// Cores of a NUMA node, in logical order.
+    ///
+    /// Panics on out-of-range nodes; see [`MachineSpec::try_cores_of_numa`].
     pub fn cores_of_numa(&self, numa: NumaId) -> Vec<CoreId> {
-        assert!(numa.0 < self.numa_count(), "numa {:?} out of range", numa);
+        match self.try_cores_of_numa(numa) {
+            Ok(c) => c,
+            Err(e) => panic!("{}", e),
+        }
+    }
+
+    /// Fallible [`MachineSpec::cores_of_numa`].
+    pub fn try_cores_of_numa(&self, numa: NumaId) -> Result<Vec<CoreId>, TopologyError> {
+        if numa.0 >= self.numa_count() {
+            return Err(TopologyError::NumaOutOfRange {
+                numa,
+                count: self.numa_count(),
+            });
+        }
         let start = numa.0 * self.cores_per_numa;
-        (start..start + self.cores_per_numa).map(CoreId).collect()
+        Ok((start..start + self.cores_per_numa).map(CoreId).collect())
     }
 
     /// Cores of a socket, in logical order.
@@ -180,14 +277,24 @@ impl MachineSpec {
     }
 
     /// A NUMA node on the socket opposite the NIC ("far from the NIC" in the
-    /// paper's placement experiments). Panics on single-socket machines.
+    /// paper's placement experiments). Panics on single-socket machines; see
+    /// [`MachineSpec::try_far_numa`].
     pub fn far_numa(&self) -> NumaId {
-        let nic_socket = self.socket_of_numa(self.nic_numa);
+        match self.try_far_numa() {
+            Ok(n) => n,
+            Err(e) => panic!("{}", e),
+        }
+    }
+
+    /// Fallible [`MachineSpec::far_numa`].
+    pub fn try_far_numa(&self) -> Result<NumaId, TopologyError> {
+        let nic_socket = self.try_socket_of_numa(self.nic_numa)?;
         (0..self.numa_count())
             .map(NumaId)
-            .filter(|&n| self.socket_of_numa(n) != nic_socket)
-            .next_back()
-            .expect("far NUMA requires at least two sockets")
+            .rfind(|&n| self.socket_of_numa(n) != nic_socket)
+            .ok_or(TopologyError::NoFarNuma {
+                sockets: self.sockets,
+            })
     }
 
     /// The NUMA node the NIC is attached to ("near").
@@ -211,33 +318,53 @@ impl MachineSpec {
     }
 
     /// Resolve a placement request to concrete core/NUMA choices.
+    ///
+    /// Panics on invalid requests; see [`MachineSpec::try_resolve`].
     pub fn resolve(&self, p: Placement) -> ResolvedPlacement {
+        match self.try_resolve(p) {
+            Ok(r) => r,
+            Err(e) => panic!("{}", e),
+        }
+    }
+
+    /// Fallible [`MachineSpec::resolve`]: a far-from-NIC binding on a
+    /// single-socket machine or an explicit out-of-range NUMA node comes
+    /// back as [`TopologyError`] instead of a panic.
+    pub fn try_resolve(&self, p: Placement) -> Result<ResolvedPlacement, TopologyError> {
         let comm_numa = match p.comm_thread {
             BindingPolicy::NearNic => self.near_numa(),
-            BindingPolicy::FarFromNic => self.far_numa(),
+            BindingPolicy::FarFromNic => self.try_far_numa()?,
             BindingPolicy::Numa(n) => n,
         };
         // The paper binds the communication thread to the *last core* of the
         // chosen NUMA node.
         let comm_core = *self
-            .cores_of_numa(comm_numa)
+            .try_cores_of_numa(comm_numa)?
             .last()
             .expect("non-empty NUMA node");
         let data_numa = match p.data {
             BindingPolicy::NearNic => self.near_numa(),
-            BindingPolicy::FarFromNic => self.far_numa(),
-            BindingPolicy::Numa(n) => n,
+            BindingPolicy::FarFromNic => self.try_far_numa()?,
+            BindingPolicy::Numa(n) => {
+                if n.0 >= self.numa_count() {
+                    return Err(TopologyError::NumaOutOfRange {
+                        numa: n,
+                        count: self.numa_count(),
+                    });
+                }
+                n
+            }
         };
         // Computing threads: logical order, skipping the comm core.
         let compute_cores: Vec<CoreId> = (0..self.core_count())
             .map(CoreId)
             .filter(|&c| c != comm_core)
             .collect();
-        ResolvedPlacement {
+        Ok(ResolvedPlacement {
             comm_core,
             data_numa,
             compute_cores,
-        }
+        })
     }
 }
 
@@ -406,6 +533,60 @@ mod tests {
     fn bad_core_panics() {
         let m = henri();
         let _ = m.numa_of_core(CoreId(10_000));
+    }
+
+    #[test]
+    fn try_lookups_return_typed_errors() {
+        let m = henri();
+        assert_eq!(
+            m.try_numa_of_core(CoreId(10_000)),
+            Err(TopologyError::CoreOutOfRange {
+                core: CoreId(10_000),
+                count: 36
+            })
+        );
+        assert_eq!(
+            m.try_socket_of_numa(NumaId(99)),
+            Err(TopologyError::NumaOutOfRange {
+                numa: NumaId(99),
+                count: 4
+            })
+        );
+        assert!(m.try_cores_of_numa(NumaId(99)).is_err());
+        // Healthy lookups agree with the panicking API.
+        assert_eq!(m.try_numa_of_core(CoreId(5)), Ok(m.numa_of_core(CoreId(5))));
+        assert_eq!(m.try_far_numa(), Ok(m.far_numa()));
+    }
+
+    #[test]
+    fn try_resolve_rejects_bad_requests() {
+        let m = henri();
+        let bad = Placement {
+            comm_thread: BindingPolicy::Numa(NumaId(99)),
+            data: BindingPolicy::NearNic,
+        };
+        assert!(matches!(
+            m.try_resolve(bad),
+            Err(TopologyError::NumaOutOfRange { .. })
+        ));
+        let bad_data = Placement {
+            comm_thread: BindingPolicy::NearNic,
+            data: BindingPolicy::Numa(NumaId(99)),
+        };
+        assert!(matches!(
+            m.try_resolve(bad_data),
+            Err(TopologyError::NumaOutOfRange { .. })
+        ));
+        // A single-socket machine has no far NUMA node.
+        let mut single = henri();
+        single.sockets = 1;
+        single.nic_numa = NumaId(0);
+        assert_eq!(
+            single.try_far_numa(),
+            Err(TopologyError::NoFarNuma { sockets: 1 })
+        );
+        let msg = single.try_far_numa().unwrap_err().to_string();
+        assert!(msg.contains("at least two sockets"), "{}", msg);
     }
 
     #[test]

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 acceptance (release build + full test suite)
+# plus a zero-warning lint gate. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> OK: build, tests and lints all green"
