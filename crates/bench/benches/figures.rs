@@ -1,39 +1,25 @@
-//! Criterion wrappers around the figure drivers (quick fidelity).
+//! Criterion wrappers around the experiment registry (quick fidelity).
 //!
-//! One bench per table/figure of the paper: each regenerates the figure's
-//! data series end to end on the simulator. These exist so `cargo bench`
-//! exercises the full reproduction pipeline; the high-density series for
-//! EXPERIMENTS.md come from the `repro` binary.
+//! One bench per registered experiment: each regenerates the figure's data
+//! series end to end through the campaign engine. These exist so
+//! `cargo bench` exercises the full reproduction pipeline; the high-density
+//! series for EXPERIMENTS.md come from the `repro` binary.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use interference::campaign::{run_experiment, CampaignOptions};
 use interference::experiments::{self, Fidelity};
 
-macro_rules! fig_bench {
-    ($fn_name:ident, $name:expr, $call:expr) => {
-        fn $fn_name(c: &mut Criterion) {
-            c.bench_function($name, |b| b.iter(|| $call));
-        }
-    };
+fn registry(c: &mut Criterion) {
+    for exp in experiments::all_experiments() {
+        c.bench_function(exp.name(), |b| {
+            b.iter(|| run_experiment(exp, &CampaignOptions::serial(Fidelity::Quick)))
+        });
+    }
 }
-
-fig_bench!(fig1, "fig1_frequency", experiments::fig1_frequency::run(Fidelity::Quick));
-fig_bench!(fig2, "fig2_freq_dynamics", experiments::fig2_freq_dynamics::run(Fidelity::Quick));
-fig_bench!(fig3, "fig3_avx", experiments::fig3_avx::run(Fidelity::Quick));
-fig_bench!(fig4, "fig4_contention", experiments::fig4_contention::run(Fidelity::Quick));
-fig_bench!(fig5, "fig5_placement", experiments::fig5_placement::run(Fidelity::Quick));
-fig_bench!(tab1, "table1_placement_summary", experiments::table1::run(Fidelity::Quick));
-fig_bench!(fig6, "fig6_msgsize", experiments::fig6_msgsize::run(Fidelity::Quick));
-fig_bench!(fig7, "fig7_intensity", experiments::fig7_intensity::run(Fidelity::Quick));
-fig_bench!(fig8, "fig8_runtime_overhead", experiments::fig8_runtime_overhead::run(Fidelity::Quick));
-fig_bench!(fig9, "fig9_polling", experiments::fig9_polling::run(Fidelity::Quick));
-fig_bench!(fig10, "fig10_usecases", experiments::fig10_usecases::run(Fidelity::Quick));
-fig_bench!(ext_xm, "ext_cross_machine", experiments::cross_machine::run(Fidelity::Quick));
-fig_bench!(ext_ab, "ext_ablations", experiments::ablations::run(Fidelity::Quick));
-fig_bench!(ext_ov, "ext_overlap", experiments::overlap::run(Fidelity::Quick));
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = fig1, fig2, fig3, fig4, fig5, tab1, fig6, fig7, fig8, fig9, fig10, ext_xm, ext_ab, ext_ov
+    targets = registry
 }
 criterion_main!(benches);

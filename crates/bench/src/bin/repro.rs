@@ -1,43 +1,74 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--csv DIR] [--all | --fig N | --table 1]
+//! repro [--quick] [--jobs N] [--csv DIR] [--json FILE] [--timings FILE]
+//!       [--list | --all | --fig N | --table 1 | --ext | --only NAME[,NAME]]
 //! ```
 //!
-//! `--fig N` accepts 1–10 (all sub-figures of N are produced). Output is a
-//! textual report: simulated medians with first/last-decile bands, the
-//! paper's reference values as notes, and PASS/FAIL qualitative checks.
+//! Selection goes through the experiment registry
+//! ([`interference::experiments::all_experiments`]): `--list` prints every
+//! registered experiment with its paper anchor and sweep size, `--only`
+//! picks experiments by registry name, `--fig N` accepts 1–10 (all
+//! sub-figures of N are produced). `--jobs N` runs the campaign's sweep
+//! points on N worker threads — results are byte-identical to `--jobs 1`
+//! because every point's seed derives from (experiment, point index), not
+//! from execution order.
+//!
+//! Output is a textual report: simulated medians with first/last-decile
+//! bands, the paper's reference values as notes, PASS/FAIL qualitative
+//! checks, and a campaign timing summary.
 
 use std::io::Write;
+use std::time::Instant;
 
+use interference::campaign::{CampaignOptions, Experiment, ExperimentRun};
 use interference::experiments::{self, Fidelity};
-use interference::report::FigureData;
 
 fn usage() -> ! {
-    eprintln!("usage: repro [--quick] [--csv DIR] [--json FILE] [--all | --fig N | --table 1 | --ext]");
+    eprintln!(
+        "usage: repro [--quick] [--jobs N] [--csv DIR] [--json FILE] [--timings FILE]\n\
+         \x20            [--list | --all | --fig N | --table 1 | --ext | --only NAME[,NAME]]"
+    );
     std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut fidelity = Fidelity::Full;
+    let mut jobs = 1usize;
     let mut csv_dir: Option<String> = None;
     let mut json_path: Option<String> = None;
+    let mut timings_path: Option<String> = None;
+    let mut list = false;
     let mut select: Option<String> = None;
+    let mut only: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => fidelity = Fidelity::Quick,
+            "--list" => list = true,
+            "--jobs" => {
+                i += 1;
+                jobs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
             "--csv" => {
                 i += 1;
                 csv_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
-            "--all" => select = None,
-            "--ext" => select = Some("ext".into()),
             "--json" => {
                 i += 1;
                 json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--timings" => {
+                i += 1;
+                timings_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--all" => select = None,
+            "--ext" => select = Some("ext".into()),
             "--fig" => {
                 i += 1;
                 let n = args.get(i).cloned().unwrap_or_else(|| usage());
@@ -48,6 +79,11 @@ fn main() {
                 let n = args.get(i).cloned().unwrap_or_else(|| usage());
                 select = Some(format!("table{}", n));
             }
+            "--only" => {
+                i += 1;
+                let names = args.get(i).cloned().unwrap_or_else(|| usage());
+                only.extend(names.split(',').map(|s| s.trim().to_string()));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {}", other);
@@ -57,29 +93,47 @@ fn main() {
         i += 1;
     }
 
-    let figs: Vec<FigureData> = match select.as_deref() {
-        None => experiments::run_all(fidelity),
-        Some(sel) => run_selected(sel, fidelity),
-    };
+    if list {
+        print_list();
+        return;
+    }
+
+    let exps = selected_experiments(select.as_deref(), &only);
+    let opts = CampaignOptions::new(fidelity, jobs);
+    let t0 = Instant::now();
+    let runs = interference::campaign::run_set(&exps, &opts);
+    let wall = t0.elapsed();
 
     let mut failed = 0;
-    for f in &figs {
-        print!("{}", f.render());
-        println!();
-        failed += f.checks.iter().filter(|c| !c.pass).count();
-        if let Some(dir) = &csv_dir {
-            std::fs::create_dir_all(dir).expect("create csv dir");
-            let path = format!("{}/{}.csv", dir, f.id);
-            let mut file = std::fs::File::create(&path).expect("create csv");
-            file.write_all(f.to_csv().as_bytes()).expect("write csv");
-            println!("   (csv written to {})", path);
+    let mut figs = Vec::new();
+    for run in runs.iter() {
+        for f in &run.figures {
+            print!("{}", f.render());
+            println!();
+            failed += f.checks.iter().filter(|c| !c.pass).count();
+            if let Some(dir) = &csv_dir {
+                std::fs::create_dir_all(dir).expect("create csv dir");
+                let path = format!("{}/{}.csv", dir, f.id);
+                let mut file = std::fs::File::create(&path).expect("create csv");
+                file.write_all(f.to_csv().as_bytes()).expect("write csv");
+                println!("   (csv written to {})", path);
+            }
         }
+        figs.extend(run.figures.iter());
     }
     if let Some(path) = &json_path {
-        std::fs::write(path, interference::results::figures_to_json(&figs))
-            .expect("write json");
+        let owned: Vec<_> = runs.iter().flat_map(|r| r.figures.clone()).collect();
+        std::fs::write(path, interference::results::figures_to_json(&owned)).expect("write json");
         println!("(json written to {})", path);
     }
+
+    print_timings(&runs, jobs, wall.as_secs_f64());
+    if let Some(path) = &timings_path {
+        std::fs::write(path, timings_json(&runs, fidelity, jobs, wall.as_secs_f64()))
+            .expect("write timings");
+        println!("(timings written to {})", path);
+    }
+
     let total: usize = figs.iter().map(|f| f.checks.len()).sum();
     println!(
         "== summary: {}/{} qualitative checks passed across {} figures/tables ==",
@@ -92,24 +146,93 @@ fn main() {
     }
 }
 
-fn run_selected(sel: &str, fidelity: Fidelity) -> Vec<FigureData> {
-    use experiments::*;
-    match sel {
-        "fig1" => fig1_frequency::run(fidelity),
-        "fig2" => vec![fig2_freq_dynamics::run(fidelity)],
-        "fig3" => fig3_avx::run(fidelity),
-        "fig4" => fig4_contention::run(fidelity),
-        "fig5" => fig5_placement::run(fidelity),
-        "fig6" => fig6_msgsize::run(fidelity),
-        "fig7" => fig7_intensity::run(fidelity),
-        "fig8" => vec![fig8_runtime_overhead::run(fidelity)],
-        "fig9" => vec![fig9_polling::run(fidelity)],
-        "fig10" => fig10_usecases::run(fidelity),
-        "table1" => vec![table1::run(fidelity)],
-        "ext" => run_extensions(fidelity),
-        other => {
-            eprintln!("unknown selection: {}", other);
-            usage();
-        }
+/// Resolve the CLI selection to registry entries.
+fn selected_experiments(select: Option<&str>, only: &[String]) -> Vec<&'static dyn Experiment> {
+    if !only.is_empty() {
+        return only
+            .iter()
+            .map(|name| {
+                experiments::find(name).unwrap_or_else(|| {
+                    eprintln!("unknown experiment: {} (try --list)", name);
+                    usage();
+                })
+            })
+            .collect();
     }
+    match select {
+        None => experiments::PAPER_EXPERIMENTS.to_vec(),
+        Some("ext") => experiments::EXTENSION_EXPERIMENTS.to_vec(),
+        Some(name) => match experiments::find(name) {
+            Some(e) => vec![e],
+            None => {
+                eprintln!("unknown selection: {} (try --list)", name);
+                usage();
+            }
+        },
+    }
+}
+
+/// `--list`: every registered experiment with anchor and sweep sizes.
+fn print_list() {
+    let (name, full, quick, anchor) = ("name", "full", "quick", "paper anchor");
+    println!("{:<18} {:>6} {:>6}  {}", name, full, quick, anchor);
+    for e in experiments::all_experiments() {
+        println!(
+            "{:<18} {:>6} {:>6}  {}",
+            e.name(),
+            e.plan(Fidelity::Full).len(),
+            e.plan(Fidelity::Quick).len(),
+            e.anchor()
+        );
+    }
+}
+
+/// Campaign timing summary: per-experiment busy time and throughput.
+fn print_timings(runs: &[ExperimentRun], jobs: usize, wall_s: f64) {
+    println!("== campaign timings ({} job(s)) ==", jobs);
+    for r in runs {
+        println!(
+            "   {:<18} {:>3} point(s){} {:>8.2} s busy  {:>6.2} points/s",
+            r.name,
+            r.points,
+            if r.failed_points > 0 {
+                format!(" ({} FAILED)", r.failed_points)
+            } else {
+                String::new()
+            },
+            r.busy.as_secs_f64(),
+            r.points_per_sec()
+        );
+    }
+    let busy: f64 = runs.iter().map(|r| r.busy.as_secs_f64()).sum();
+    println!(
+        "   total: {:.2} s wall, {:.2} s busy (utilisation {:.2}x)",
+        wall_s,
+        busy,
+        if wall_s > 0.0 { busy / wall_s } else { 0.0 }
+    );
+    println!();
+}
+
+/// Machine-readable timing record (`--timings FILE`).
+fn timings_json(runs: &[ExperimentRun], fidelity: Fidelity, jobs: usize, wall_s: f64) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"fidelity\":\"{:?}\",\"jobs\":{},\"wall_s\":{:.3},\"experiments\":[",
+        fidelity, jobs, wall_s
+    ));
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"points\":{},\"failed_points\":{},\"busy_s\":{:.3}}}",
+            r.name,
+            r.points,
+            r.failed_points,
+            r.busy.as_secs_f64()
+        ));
+    }
+    out.push_str("]}\n");
+    out
 }

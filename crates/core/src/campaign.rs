@@ -1,0 +1,462 @@
+//! Declarative experiment campaigns: the `Experiment` trait and the
+//! parallel engine that executes sweep plans.
+//!
+//! Each figure/table driver describes itself as an [`Experiment`]: a name,
+//! a paper anchor, a fidelity-aware sweep plan of enumerable
+//! [`SweepPoint`]s, a per-point measurement, and a `finalize` step that
+//! folds the point values into [`FigureData`]. The engine flattens the
+//! plans of every selected experiment into one work queue and executes the
+//! points on a pool of `std::thread` workers.
+//!
+//! **Determinism.** A point's seed is derived *only* from the experiment
+//! name and the point index ([`point_seed`]), never from execution order,
+//! so a parallel run (`--jobs N`) produces byte-identical figures to a
+//! serial one. Memoized baselines use a seed derived from their cache key
+//! ([`baseline_seed`]) for the same reason.
+//!
+//! **Crash-proofness.** Every point runs under PR 1's
+//! [`crate::runner::guarded`] (catch_unwind + quiet panic hook); a failed
+//! point is retried once on a fresh [`crate::runner::retry_seed`] and
+//! otherwise recorded as [`RunStatus::Failed`] so the remaining points
+//! still reach `finalize`.
+//!
+//! **Baseline memoization.** The protocol's "alone" steps do not depend on
+//! most sweep variables (communication alone is the same measurement at
+//! every computing-core count; computation alone does not care about the
+//! message size). Experiments share those runs through the
+//! [`BaselineCache`], keyed by configuration content — which also lets
+//! fig4, fig5 and table1 share entire contention points instead of
+//! recomputing three overlapping placement sweeps.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use simcore::SplitMix64;
+
+use crate::experiments::Fidelity;
+use crate::report::FigureData;
+use crate::runner::{self, RunStatus};
+
+/// Opaque per-point measurement value, downcast by `finalize`.
+pub type PointValue = Box<dyn Any + Send>;
+
+/// One enumerable point of an experiment's sweep plan.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Position in the plan (dense, 0-based). Seeds derive from it, and
+    /// `run_point` re-derives the sweep coordinates from it.
+    pub index: usize,
+    /// Human-readable label ("lat @ 12 cores"), for progress and `--list`.
+    pub label: String,
+}
+
+impl SweepPoint {
+    /// Build a point.
+    pub fn new(index: usize, label: impl Into<String>) -> SweepPoint {
+        SweepPoint {
+            index,
+            label: label.into(),
+        }
+    }
+}
+
+/// Execution context handed to [`Experiment::run_point`].
+pub struct PointCtx<'a> {
+    /// Sweep density / repetition selector of the campaign.
+    pub fidelity: Fidelity,
+    /// The point's deterministic seed ([`point_seed`] on the first
+    /// attempt, [`runner::retry_seed`] of it on the retry).
+    pub seed: u64,
+    /// Cross-experiment baseline cache.
+    pub baselines: &'a BaselineCache,
+}
+
+/// A declarative experiment: sweep plan + per-point measurement + figure
+/// assembly. Implementors are unit structs registered in
+/// [`crate::experiments`].
+pub trait Experiment: Sync {
+    /// Registry name (unique, stable; used by `repro --only`).
+    fn name(&self) -> &'static str;
+    /// Where in the paper the experiment lives ("§4.2, Figures 4a/4b").
+    fn anchor(&self) -> &'static str;
+    /// Enumerate the sweep points at the given fidelity. Indices must be
+    /// dense and 0-based — seeds and result slots key off them.
+    fn plan(&self, fidelity: Fidelity) -> Vec<SweepPoint>;
+    /// Measure one sweep point. Runs on a worker thread; must derive all
+    /// randomness from `ctx.seed` (or [`BaselineCache`] keys) so parallel
+    /// and serial campaigns are bit-identical.
+    fn run_point(&self, point: &SweepPoint, ctx: &PointCtx<'_>) -> Result<PointValue, String>;
+    /// Fold the executed points (in plan order) into figures.
+    fn finalize(&self, fidelity: Fidelity, points: &[PointOutcome]) -> Vec<FigureData>;
+}
+
+/// How one sweep point ended, plus its value when any attempt succeeded.
+pub struct PointOutcome {
+    /// Plan index.
+    pub index: usize,
+    /// Plan label.
+    pub label: String,
+    /// Seed of the attempt the outcome describes (retry seed when the
+    /// first attempt failed).
+    pub seed: u64,
+    /// Completed / recovered / failed.
+    pub status: RunStatus,
+    /// The measurement, when one of the attempts succeeded.
+    pub value: Option<PointValue>,
+    /// Wall time spent executing the point (all attempts).
+    pub wall: Duration,
+}
+
+/// Downcast the value of point `index`, panicking with the recorded error
+/// when the point failed both attempts — the same surface behaviour as the
+/// pre-registry drivers, which panicked on a failed measurement.
+pub fn expect_value<T: 'static>(points: &[PointOutcome], index: usize) -> &T {
+    let p = &points[index];
+    match &p.value {
+        Some(v) => v
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("point {} ({}) has an unexpected value type", index, p.label)),
+        None => panic!(
+            "point {} ({}) failed: {}",
+            index,
+            p.label,
+            p.status.error().unwrap_or("no error recorded")
+        ),
+    }
+}
+
+/// Deterministic seed of `(experiment, point index)`: FNV-1a over the
+/// experiment name, offset by the index, pushed through
+/// [`simcore::SplitMix64`]. Unlike the old additive `base + size` schemes,
+/// distinct points can never collide on a seed.
+pub fn point_seed(experiment: &str, index: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in experiment.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    SplitMix64::new(h.wrapping_add(index as u64)).next_u64()
+}
+
+/// Deterministic seed for a memoized baseline, derived from its cache key
+/// alone so every requester computes (or reuses) the identical value.
+pub fn baseline_seed(key: &str) -> u64 {
+    point_seed(key, 0xBA5E)
+}
+
+type Slot = Arc<OnceLock<Arc<dyn Any + Send + Sync>>>;
+
+/// Concurrent memo table for baseline measurements shared across sweep
+/// points (and across experiments of one campaign). Each key is computed
+/// exactly once — concurrent requesters block on the slot instead of
+/// recomputing — with a seed derived from the key, so cached values are
+/// identical no matter which point asks first.
+#[derive(Default)]
+pub struct BaselineCache {
+    slots: Mutex<HashMap<String, Slot>>,
+}
+
+impl BaselineCache {
+    /// Empty cache.
+    pub fn new() -> BaselineCache {
+        BaselineCache::default()
+    }
+
+    /// Fetch the value under `key`, computing it with `f(baseline_seed(key))`
+    /// on first use. Nested calls (a cached value that itself needs another
+    /// baseline) are fine as long as keys do not form a cycle.
+    pub fn get_or_compute<T, F>(&self, key: &str, f: F) -> Arc<T>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce(u64) -> T,
+    {
+        let slot = {
+            let mut slots = self.slots.lock().expect("baseline cache poisoned");
+            slots.entry(key.to_string()).or_default().clone()
+        };
+        let v = slot.get_or_init(|| Arc::new(f(baseline_seed(key))) as Arc<dyn Any + Send + Sync>);
+        Arc::clone(v)
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("baseline cache type mismatch for key {:?}", key))
+    }
+
+    /// Number of distinct baselines computed so far.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("baseline cache poisoned").len()
+    }
+
+    /// True when nothing has been memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Campaign execution options.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignOptions {
+    /// Sweep density / repetitions.
+    pub fidelity: Fidelity,
+    /// Worker threads executing sweep points (min 1).
+    pub jobs: usize,
+}
+
+impl CampaignOptions {
+    /// Options with an explicit worker count.
+    pub fn new(fidelity: Fidelity, jobs: usize) -> CampaignOptions {
+        CampaignOptions {
+            fidelity,
+            jobs: jobs.max(1),
+        }
+    }
+
+    /// Single-worker options (the classic sequential behaviour).
+    pub fn serial(fidelity: Fidelity) -> CampaignOptions {
+        CampaignOptions::new(fidelity, 1)
+    }
+}
+
+/// Result of one experiment inside a campaign.
+pub struct ExperimentRun {
+    /// Registry name.
+    pub name: &'static str,
+    /// The finalized figures.
+    pub figures: Vec<FigureData>,
+    /// Executed sweep points.
+    pub points: usize,
+    /// Points that failed both attempts.
+    pub failed_points: usize,
+    /// Busy time: summed point execution time plus finalize. Under
+    /// parallel execution this is work time, not elapsed wall time.
+    pub busy: Duration,
+}
+
+impl ExperimentRun {
+    /// Throughput over busy time.
+    pub fn points_per_sec(&self) -> f64 {
+        let s = self.busy.as_secs_f64();
+        if s > 0.0 {
+            self.points as f64 / s
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Execute one sweep point: guarded first attempt on [`point_seed`], one
+/// guarded retry on a fresh seed, structured failure otherwise.
+fn execute_point(
+    exp: &dyn Experiment,
+    point: &SweepPoint,
+    fidelity: Fidelity,
+    baselines: &BaselineCache,
+) -> PointOutcome {
+    let t0 = Instant::now();
+    let seed = point_seed(exp.name(), point.index);
+    let attempt = |seed: u64| {
+        let ctx = PointCtx {
+            fidelity,
+            seed,
+            baselines,
+        };
+        runner::guarded(|| exp.run_point(point, &ctx))
+    };
+    let (seed, status, value) = match attempt(seed) {
+        Ok(v) => (seed, RunStatus::Completed, Some(v)),
+        Err(first_error) => {
+            let fresh = runner::retry_seed(seed, point.index as u32);
+            match attempt(fresh) {
+                Ok(v) => (
+                    fresh,
+                    RunStatus::Recovered {
+                        failed_seed: seed,
+                        error: first_error,
+                    },
+                    Some(v),
+                ),
+                Err(second_error) => (
+                    fresh,
+                    RunStatus::Failed {
+                        error: second_error,
+                    },
+                    None,
+                ),
+            }
+        }
+    };
+    PointOutcome {
+        index: point.index,
+        label: point.label.clone(),
+        seed,
+        status,
+        value,
+        wall: t0.elapsed(),
+    }
+}
+
+/// Run a set of experiments as one campaign: every sweep point of every
+/// experiment goes into a single work queue drained by `opts.jobs` worker
+/// threads (so a short experiment's points fill the gaps of a long one),
+/// then each experiment finalizes serially in the given order.
+pub fn run_set(exps: &[&dyn Experiment], opts: &CampaignOptions) -> Vec<ExperimentRun> {
+    let cache = BaselineCache::new();
+    let plans: Vec<Vec<SweepPoint>> = exps.iter().map(|e| e.plan(opts.fidelity)).collect();
+    let tasks: Vec<(usize, usize)> = plans
+        .iter()
+        .enumerate()
+        .flat_map(|(ei, plan)| (0..plan.len()).map(move |pi| (ei, pi)))
+        .collect();
+    let results: Vec<Vec<Mutex<Option<PointOutcome>>>> = plans
+        .iter()
+        .map(|p| (0..p.len()).map(|_| Mutex::new(None)).collect())
+        .collect();
+
+    let next = AtomicUsize::new(0);
+    let workers = opts.jobs.clamp(1, tasks.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                if t >= tasks.len() {
+                    break;
+                }
+                let (ei, pi) = tasks[t];
+                let outcome = execute_point(exps[ei], &plans[ei][pi], opts.fidelity, &cache);
+                *results[ei][pi].lock().expect("result slot poisoned") = Some(outcome);
+            });
+        }
+    });
+
+    exps.iter()
+        .zip(results)
+        .map(|(exp, slots)| {
+            let outcomes: Vec<PointOutcome> = slots
+                .into_iter()
+                .map(|m| {
+                    m.into_inner()
+                        .expect("result slot poisoned")
+                        .expect("every queued point executes")
+                })
+                .collect();
+            let point_time: Duration = outcomes.iter().map(|o| o.wall).sum();
+            let failed = outcomes
+                .iter()
+                .filter(|o| matches!(o.status, RunStatus::Failed { .. }))
+                .count();
+            let t0 = Instant::now();
+            let figures = exp.finalize(opts.fidelity, &outcomes);
+            ExperimentRun {
+                name: exp.name(),
+                figures,
+                points: outcomes.len(),
+                failed_points: failed,
+                busy: point_time + t0.elapsed(),
+            }
+        })
+        .collect()
+}
+
+/// Run a single experiment (its own cache, no cross-experiment sharing).
+pub fn run_experiment(exp: &dyn Experiment, opts: &CampaignOptions) -> ExperimentRun {
+    run_set(&[exp], opts)
+        .pop()
+        .expect("one experiment in, one run out")
+}
+
+/// Execute only the sweep points of one experiment, serially, returning the
+/// raw outcomes — for callers that post-process points without the figure
+/// assembly (e.g. `table1::rows`).
+pub fn run_points(exp: &dyn Experiment, fidelity: Fidelity) -> Vec<PointOutcome> {
+    let cache = BaselineCache::new();
+    exp.plan(fidelity)
+        .iter()
+        .map(|p| execute_point(exp, p, fidelity, &cache))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Doubler;
+
+    impl Experiment for Doubler {
+        fn name(&self) -> &'static str {
+            "doubler"
+        }
+        fn anchor(&self) -> &'static str {
+            "test"
+        }
+        fn plan(&self, _f: Fidelity) -> Vec<SweepPoint> {
+            (0..6).map(|i| SweepPoint::new(i, format!("x={}", i))).collect()
+        }
+        fn run_point(&self, point: &SweepPoint, ctx: &PointCtx<'_>) -> Result<PointValue, String> {
+            if point.index == 3 && ctx.seed == point_seed("doubler", 3) {
+                panic!("flaky first attempt");
+            }
+            if point.index == 5 {
+                return Err("permanently broken".into());
+            }
+            Ok(Box::new(point.index * 2))
+        }
+        fn finalize(&self, _f: Fidelity, points: &[PointOutcome]) -> Vec<FigureData> {
+            assert_eq!(points.len(), 6);
+            for p in points.iter().take(5) {
+                assert_eq!(*expect_value::<usize>(points, p.index), p.index * 2);
+            }
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn engine_retries_and_records_failures() {
+        let run = run_experiment(&Doubler, &CampaignOptions::serial(Fidelity::Quick));
+        assert_eq!(run.points, 6);
+        assert_eq!(run.failed_points, 1);
+    }
+
+    #[test]
+    fn parallel_outcomes_match_serial() {
+        for jobs in [2, 4] {
+            let run = run_experiment(&Doubler, &CampaignOptions::new(Fidelity::Quick, jobs));
+            assert_eq!(run.points, 6);
+            assert_eq!(run.failed_points, 1);
+        }
+    }
+
+    #[test]
+    fn point_seeds_never_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for exp in ["fig1", "fig6", "overlap"] {
+            for i in 0..512 {
+                assert!(seen.insert(point_seed(exp, i)), "collision at {}/{}", exp, i);
+            }
+        }
+        // The old additive scheme collided when size sweeps overlapped
+        // (seed + 64 from base A == seed + 4 from base A+60); the hash
+        // also differs from every retry seed it could meet.
+        for i in 0..64u32 {
+            assert_ne!(
+                point_seed("fig6", i as usize),
+                runner::retry_seed(point_seed("fig6", i as usize), i)
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_cache_computes_once_per_key() {
+        let cache = BaselineCache::new();
+        let mut calls = 0;
+        let a = cache.get_or_compute("k", |seed| {
+            calls += 1;
+            seed
+        });
+        let b = cache.get_or_compute("k", |_| unreachable!("memoized"));
+        assert_eq!(*a, *b);
+        assert_eq!(*a, baseline_seed("k"));
+        assert_eq!(calls, 1);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+}

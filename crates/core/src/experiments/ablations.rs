@@ -18,12 +18,24 @@ use mpisim::pingpong::{self, PingPongConfig};
 use simcore::{JitterFamily, Series, Summary};
 use topology::{henri, MachineSpec, Placement};
 
+use crate::campaign::{self, expect_value, point_seed, Experiment, PointCtx, PointValue, SweepPoint};
 use crate::experiments::Fidelity;
 use crate::protocol::{self, ProtocolConfig};
 use crate::report::{Check, FigureData};
 
+/// NIC DMA arbitration weights swept by ablation 3.
+const NIC_WEIGHTS: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
+
+/// A single scalar ablation measurement.
+#[derive(Clone, Copy)]
+struct Scalar(f64);
+
+/// Registration-cache measurement: (first-use µs, cached µs).
+#[derive(Clone, Copy)]
+struct Registration(f64, f64);
+
 /// Latency inflation at full STREAM occupancy for a machine variant.
-fn latency_inflation(machine: &MachineSpec, fidelity: Fidelity, seed: u64) -> f64 {
+fn latency_inflation(machine: &MachineSpec, fidelity: Fidelity, seed: u64) -> Result<f64, String> {
     let w = workload(StreamKernel::Triad, 2_000_000, machine.near_numa(), 1);
     let mut cfg = ProtocolConfig::new(machine.clone(), Some(w));
     cfg.placement = Placement::fig4_default();
@@ -31,12 +43,12 @@ fn latency_inflation(machine: &MachineSpec, fidelity: Fidelity, seed: u64) -> f6
     cfg.pingpong = PingPongConfig::latency(fidelity.lat_reps());
     cfg.reps = fidelity.reps();
     cfg.seed = seed;
-    let r = protocol::run(&cfg);
-    Summary::of(&r.lat_together()).median / Summary::of(&r.lat_alone()).median
+    let r = protocol::try_run(&cfg).map_err(|e| e.to_string())?;
+    Ok(Summary::of(&r.lat_together()).median / Summary::of(&r.lat_alone()).median)
 }
 
 /// Bandwidth retained at full STREAM occupancy for a machine variant.
-fn bandwidth_retained(machine: &MachineSpec, fidelity: Fidelity, seed: u64) -> f64 {
+fn bandwidth_retained(machine: &MachineSpec, fidelity: Fidelity, seed: u64) -> Result<f64, String> {
     let w = workload(StreamKernel::Triad, 2_000_000, machine.near_numa(), 1);
     let mut cfg = ProtocolConfig::new(machine.clone(), Some(w));
     cfg.placement = Placement::fig4_default();
@@ -49,105 +61,24 @@ fn bandwidth_retained(machine: &MachineSpec, fidelity: Fidelity, seed: u64) -> f
     };
     cfg.reps = fidelity.reps();
     cfg.seed = seed;
-    let r = protocol::run(&cfg);
-    Summary::of(&r.bw_together()).median / Summary::of(&r.bw_alone()).median
-}
-
-/// Run all ablations.
-pub fn run(fidelity: Fidelity) -> FigureData {
-    let base = henri();
-
-    // 1. Congestion model off.
-    let mut no_congestion = base.clone();
-    no_congestion.congestion_gain = 0.0;
-    let infl_on = latency_inflation(&base, fidelity, 0xAB_1);
-    let infl_off = latency_inflation(&no_congestion, fidelity, 0xAB_1);
-
-    // 2. Idle penalty off: does "together beats alone" survive?
-    let mut no_idle = base.clone();
-    no_idle.idle_uncore_penalty_s = 0.0;
-    let delta_with = fig2_delta(&base, fidelity, 0xAB_2);
-    let delta_without = fig2_delta(&no_idle, fidelity, 0xAB_2);
-
-    // 3. NIC weight sweep.
-    let mut s_weight = Series::new("bandwidth retained vs NIC DMA weight");
-    let mut retained = Vec::new();
-    for (i, w) in [1.0f64, 2.0, 4.0, 8.0].into_iter().enumerate() {
-        let mut m = base.clone();
-        m.network.nic_dma_weight = w;
-        let r = bandwidth_retained(&m, fidelity, 0xAB_3 + i as u64);
-        s_weight.push(w, &[r]);
-        retained.push(r);
-    }
-
-    // 4. Registration cache: first vs reused buffer at 4 MiB.
-    let (first_us, cached_us) = registration_effect(&base);
-
-    let mut s_infl = Series::new("latency inflation: congestion model on/off");
-    s_infl.push(0.0, &[infl_off]);
-    s_infl.push(1.0, &[infl_on]);
-    let mut s_idle = Series::new("latency delta alone-together (us): idle penalty on/off");
-    s_idle.push(0.0, &[delta_without]);
-    s_idle.push(1.0, &[delta_with]);
-    let mut s_reg = Series::new("4 MiB send latency (us): first vs cached registration");
-    s_reg.push(0.0, &[first_us]);
-    s_reg.push(1.0, &[cached_us]);
-
-    let checks = vec![
-        Check::new(
-            "congestion model is what inflates small-message latency",
-            infl_on > 1.5 && infl_off < 1.2,
-            format!("inflation ×{:.2} with model vs ×{:.2} without", infl_on, infl_off),
-        ),
-        Check::new(
-            "idle penalty explains 'together beats alone'",
-            delta_with > 0.05 && delta_without.abs() < 0.05,
-            format!(
-                "alone-together delta {:.2} µs with penalty vs {:.2} µs without",
-                delta_with, delta_without
-            ),
-        ),
-        Check::new(
-            "NIC arbitration weight sets the bandwidth floor (monotone)",
-            retained.windows(2).all(|w| w[1] >= w[0] - 1e-9) && retained[3] > retained[0] * 1.5,
-            format!("retained fractions {:?}", retained),
-        ),
-        Check::new(
-            "registration cache hides the pinning cost on reuse",
-            first_us > cached_us * 1.2,
-            format!("first {:.0} µs vs cached {:.0} µs", first_us, cached_us),
-        ),
-    ];
-
-    FigureData {
-        id: "ablations",
-        title: "Model ablations: which mechanism produces which measured effect".into(),
-        xlabel: "variant",
-        ylabel: "ratio / us",
-        series: vec![s_infl, s_idle, s_weight, s_reg],
-        notes: vec![
-            "these are ablations of the simulator's design choices (DESIGN.md §6), not paper figures"
-                .into(),
-        ],
-        checks,
-        runs: Vec::new(),
-    }
+    let r = protocol::try_run(&cfg).map_err(|e| e.to_string())?;
+    Ok(Summary::of(&r.bw_together()).median / Summary::of(&r.bw_alone()).median)
 }
 
 /// Latency-alone minus latency-together (µs) under the Fig 2 setup.
-fn fig2_delta(machine: &MachineSpec, fidelity: Fidelity, seed: u64) -> f64 {
+fn fig2_delta(machine: &MachineSpec, fidelity: Fidelity, seed: u64) -> Result<f64, String> {
     let w = kernels::primes::workload(0, 30_000, 1);
     let mut cfg = ProtocolConfig::new(machine.clone(), Some(w));
     cfg.compute_cores = 20;
     cfg.pingpong = PingPongConfig::latency(fidelity.lat_reps());
     cfg.reps = fidelity.reps();
     cfg.seed = seed;
-    let r = protocol::run(&cfg);
-    Summary::of(&r.lat_alone()).median - Summary::of(&r.lat_together()).median
+    let r = protocol::try_run(&cfg).map_err(|e| e.to_string())?;
+    Ok(Summary::of(&r.lat_alone()).median - Summary::of(&r.lat_together()).median)
 }
 
 /// First-use vs cached-buffer latency of a rendezvous-sized message, µs.
-fn registration_effect(machine: &MachineSpec) -> (f64, f64) {
+fn registration_effect(machine: &MachineSpec) -> Registration {
     let cfg = ProtocolConfig::new(machine.clone(), None);
     let family = JitterFamily::new(0xAB_4);
     let mut cluster = protocol::build_cluster(&cfg, &family, 0);
@@ -172,7 +103,154 @@ fn registration_effect(machine: &MachineSpec) -> (f64, f64) {
         },
     )
     .median_latency_us();
-    (first, cached)
+    Registration(first, cached)
+}
+
+/// Registry driver for the model ablations (9 points: two on/off pairs, a
+/// 4-value NIC-weight sweep and the registration-cache probe).
+pub struct Ablations;
+
+impl Experiment for Ablations {
+    fn name(&self) -> &'static str {
+        "ablations"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "DESIGN.md §6 model ablations"
+    }
+
+    fn plan(&self, _fidelity: Fidelity) -> Vec<SweepPoint> {
+        let mut plan = vec![
+            SweepPoint::new(0, "congestion model on"),
+            SweepPoint::new(1, "congestion model off"),
+            SweepPoint::new(2, "idle penalty on"),
+            SweepPoint::new(3, "idle penalty off"),
+        ];
+        for (i, w) in NIC_WEIGHTS.iter().enumerate() {
+            plan.push(SweepPoint::new(4 + i, format!("NIC DMA weight {}", w)));
+        }
+        plan.push(SweepPoint::new(8, "registration cache"));
+        plan
+    }
+
+    fn run_point(&self, point: &SweepPoint, ctx: &PointCtx<'_>) -> Result<PointValue, String> {
+        let base = henri();
+        match point.index {
+            // On/off pairs share the seed of the pair's first point so the
+            // comparison stays paired (sampling noise cancels).
+            0 | 1 => {
+                let seed = point_seed(self.name(), 0);
+                let machine = if point.index == 0 {
+                    base
+                } else {
+                    let mut m = base.clone();
+                    m.congestion_gain = 0.0;
+                    m
+                };
+                Ok(Box::new(Scalar(latency_inflation(
+                    &machine,
+                    ctx.fidelity,
+                    seed,
+                )?)))
+            }
+            2 | 3 => {
+                let seed = point_seed(self.name(), 2);
+                let machine = if point.index == 2 {
+                    base
+                } else {
+                    let mut m = base.clone();
+                    m.idle_uncore_penalty_s = 0.0;
+                    m
+                };
+                Ok(Box::new(Scalar(fig2_delta(&machine, ctx.fidelity, seed)?)))
+            }
+            4..=7 => {
+                let mut m = base.clone();
+                m.network.nic_dma_weight = NIC_WEIGHTS[point.index - 4];
+                Ok(Box::new(Scalar(bandwidth_retained(
+                    &m,
+                    ctx.fidelity,
+                    ctx.seed,
+                )?)))
+            }
+            _ => Ok(Box::new(registration_effect(&base))),
+        }
+    }
+
+    fn finalize(&self, _fidelity: Fidelity, points: &[campaign::PointOutcome]) -> Vec<FigureData> {
+        let scalar = |i: usize| expect_value::<Scalar>(points, i).0;
+        let infl_on = scalar(0);
+        let infl_off = scalar(1);
+        let delta_with = scalar(2);
+        let delta_without = scalar(3);
+        let retained: Vec<f64> = (4..8).map(scalar).collect();
+        let Registration(first_us, cached_us) = *expect_value::<Registration>(points, 8);
+
+        let mut s_weight = Series::new("bandwidth retained vs NIC DMA weight");
+        for (i, w) in NIC_WEIGHTS.iter().enumerate() {
+            s_weight.push(*w, &[retained[i]]);
+        }
+        let mut s_infl = Series::new("latency inflation: congestion model on/off");
+        s_infl.push(0.0, &[infl_off]);
+        s_infl.push(1.0, &[infl_on]);
+        let mut s_idle = Series::new("latency delta alone-together (us): idle penalty on/off");
+        s_idle.push(0.0, &[delta_without]);
+        s_idle.push(1.0, &[delta_with]);
+        let mut s_reg = Series::new("4 MiB send latency (us): first vs cached registration");
+        s_reg.push(0.0, &[first_us]);
+        s_reg.push(1.0, &[cached_us]);
+
+        let checks = vec![
+            Check::new(
+                "congestion model is what inflates small-message latency",
+                infl_on > 1.5 && infl_off < 1.2,
+                format!(
+                    "inflation ×{:.2} with model vs ×{:.2} without",
+                    infl_on, infl_off
+                ),
+            ),
+            Check::new(
+                "idle penalty explains 'together beats alone'",
+                delta_with > 0.05 && delta_without.abs() < 0.05,
+                format!(
+                    "alone-together delta {:.2} µs with penalty vs {:.2} µs without",
+                    delta_with, delta_without
+                ),
+            ),
+            Check::new(
+                "NIC arbitration weight sets the bandwidth floor (monotone)",
+                retained.windows(2).all(|w| w[1] >= w[0] - 1e-9)
+                    && retained[3] > retained[0] * 1.5,
+                format!("retained fractions {:?}", retained),
+            ),
+            Check::new(
+                "registration cache hides the pinning cost on reuse",
+                first_us > cached_us * 1.2,
+                format!("first {:.0} µs vs cached {:.0} µs", first_us, cached_us),
+            ),
+        ];
+
+        vec![FigureData {
+            id: "ablations",
+            title: "Model ablations: which mechanism produces which measured effect".into(),
+            xlabel: "variant",
+            ylabel: "ratio / us",
+            series: vec![s_infl, s_idle, s_weight, s_reg],
+            notes: vec![
+                "these are ablations of the simulator's design choices (DESIGN.md §6), not paper figures"
+                    .into(),
+            ],
+            checks,
+            runs: Vec::new(),
+        }]
+    }
+}
+
+/// Run all ablations.
+pub fn run(fidelity: Fidelity) -> FigureData {
+    campaign::run_experiment(&Ablations, &campaign::CampaignOptions::serial(fidelity))
+        .figures
+        .remove(0)
 }
 
 #[cfg(test)]

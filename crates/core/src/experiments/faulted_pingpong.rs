@@ -6,12 +6,13 @@
 //! probability; each lost CTS costs the sender one retransmission timeout,
 //! so latency inflates and the per-send profiler records the retry work.
 //!
-//! The campaign itself runs through the crash-proof runner
-//! ([`crate::runner`]): one repetition's first attempt deliberately panics
-//! (it must recover on a retry seed) and one repetition runs under a total
-//! CTS black-out (it must fail cleanly after exhausting retransmissions,
-//! without hanging, while the surviving repetitions still produce the
-//! median/decile bands).
+//! Each sweep point itself runs through the crash-proof runner
+//! ([`crate::runner`]) — the campaign engine's own per-point guard nests
+//! around it. In the demo point, one repetition's first attempt
+//! deliberately panics (it must recover on a retry seed) and one
+//! repetition runs under a total CTS black-out (it must fail cleanly after
+//! exhausting retransmissions, without hanging, while the surviving
+//! repetitions still produce the median/decile bands).
 
 use mpisim::pingpong::{self, PingPongConfig};
 use mpisim::Cluster;
@@ -19,8 +20,9 @@ use simcore::{FaultPlan, JitterFamily, Series, SimTime, Summary};
 use topology::henri;
 
 use super::Fidelity;
+use crate::campaign::{self, expect_value, Experiment, PointCtx, PointValue, SweepPoint};
 use crate::protocol::{build_cluster, ProtocolConfig};
-use crate::report::{Check, FigureData};
+use crate::report::{Check, FigureData, RunOutcome};
 use crate::runner::{self, RunStatus};
 
 /// Rendezvous-sized message: far above henri's 64 KiB eager threshold, so
@@ -36,6 +38,9 @@ const REP_BUDGET: SimTime = SimTime(2 * SimTime::SEC.0);
 const CRASH_REP: u32 = 1;
 /// Repetition index that runs under a total CTS black-out (failure demo).
 const BLACKOUT_REP: u32 = 2;
+
+/// CTS drop probabilities of the sweep.
+const PROBS: [f64; 3] = [0.0, 0.15, 0.35];
 
 /// Measurements of one successful repetition.
 struct RepOutcome {
@@ -82,127 +87,194 @@ fn run_rep(
     Ok(out)
 }
 
+/// Inner-campaign result of one drop-probability sweep point.
+struct SweepOut {
+    lats: Vec<f64>,
+    rets: Vec<f64>,
+    failures: usize,
+}
+
+/// Inner-campaign result of the crash/black-out demo point.
+struct DemoOut {
+    lats: Vec<f64>,
+    recovered: bool,
+    crash_status: &'static str,
+    crash_attempts: u32,
+    blackout_failed: bool,
+    partial: bool,
+    runs: Vec<RunOutcome>,
+}
+
+/// Registry driver for the faulted ping-pong (3 drop-probability sweep
+/// points plus the crash/black-out demo point).
+pub struct FaultedPingpong;
+
+impl Experiment for FaultedPingpong {
+    fn name(&self) -> &'static str {
+        "faulted_pingpong"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "robustness extension (fault injection)"
+    }
+
+    fn plan(&self, _fidelity: Fidelity) -> Vec<SweepPoint> {
+        let mut plan: Vec<SweepPoint> = PROBS
+            .iter()
+            .enumerate()
+            .map(|(i, p)| SweepPoint::new(i, format!("CTS drop p = {}", p)))
+            .collect();
+        plan.push(SweepPoint::new(PROBS.len(), "crash/black-out demo"));
+        plan
+    }
+
+    fn run_point(&self, point: &SweepPoint, ctx: &PointCtx<'_>) -> Result<PointValue, String> {
+        let pp = pingpong_cfg(ctx.fidelity);
+        let reps = ctx.fidelity.reps().max(4);
+        if point.index < PROBS.len() {
+            let p = PROBS[point.index];
+            let base = FaultPlan::new(ctx.seed).with_cts_drop(p);
+            let inner = runner::run_campaign(reps, ctx.seed, |rep, seed| {
+                let plan = FaultPlan { seed, ..base.clone() };
+                run_rep(pp, &plan, seed, rep as u64)
+            });
+            Ok(Box::new(SweepOut {
+                lats: inner.values.iter().map(|(_, v)| v.lat_us).collect(),
+                rets: inner.values.iter().map(|(_, v)| v.retries as f64).collect(),
+                failures: inner.failed(),
+            }))
+        } else {
+            let demo_plan = FaultPlan::new(ctx.seed).with_cts_drop(0.25);
+            let blackout_plan = FaultPlan::new(ctx.seed).with_cts_drop(1.0);
+            let mut crash_attempts = 0u32;
+            let demo = runner::run_campaign(reps, ctx.seed, |rep, seed| {
+                if rep == CRASH_REP {
+                    crash_attempts += 1;
+                    if crash_attempts == 1 {
+                        panic!("injected crash: first attempt of rep {}", rep);
+                    }
+                }
+                let base = if rep == BLACKOUT_REP { &blackout_plan } else { &demo_plan };
+                let plan = FaultPlan { seed, ..base.clone() };
+                run_rep(pp, &plan, seed, rep as u64)
+            });
+
+            // Enrich the per-rep outcomes with the retry work of the reps
+            // that produced data.
+            let mut runs = demo.outcomes();
+            for (rep, v) in &demo.values {
+                let r = &mut runs[*rep as usize];
+                r.retries = v.retries;
+                r.retrans_bytes = v.retrans_bytes;
+                r.retry_wait_s = v.retry_wait_s;
+            }
+            Ok(Box::new(DemoOut {
+                lats: demo.values.iter().map(|(_, v)| v.lat_us).collect(),
+                recovered: matches!(
+                    demo.records[CRASH_REP as usize].status,
+                    RunStatus::Recovered { .. }
+                ),
+                crash_status: demo.records[CRASH_REP as usize].status.label(),
+                crash_attempts,
+                blackout_failed: matches!(
+                    demo.records[BLACKOUT_REP as usize].status,
+                    RunStatus::Failed { .. }
+                ),
+                partial: demo.is_partial(),
+                runs,
+            }))
+        }
+    }
+
+    fn finalize(&self, fidelity: Fidelity, points: &[campaign::PointOutcome]) -> Vec<FigureData> {
+        let reps = fidelity.reps().max(4);
+        let mut lat = Series::new("latency");
+        let mut retries_series = Series::new("retries per rep");
+        let mut sweep_failures = 0usize;
+        let mut retries_at = Vec::new();
+        let mut lat_at = Vec::new();
+        for (pi, &p) in PROBS.iter().enumerate() {
+            let sweep = expect_value::<SweepOut>(points, pi);
+            sweep_failures += sweep.failures;
+            lat.push(p, &sweep.lats);
+            retries_series.push(p, &sweep.rets);
+            lat_at.push(Summary::of(&sweep.lats).median);
+            retries_at.push(Summary::of(&sweep.rets).median);
+        }
+
+        let demo = expect_value::<DemoOut>(points, PROBS.len());
+        let bands = Summary::of(&demo.lats);
+
+        let checks = vec![
+            Check::new(
+                "healthy plan needs no retries",
+                retries_at[0] == 0.0 && sweep_failures == 0,
+                format!(
+                    "median retries {} at p=0, {} failed sweep rep(s)",
+                    retries_at[0], sweep_failures
+                ),
+            ),
+            Check::new(
+                "retry work grows with drop probability",
+                retries_at[2] > retries_at[1] && retries_at[1] > 0.0,
+                format!(
+                    "median retries/rep {} / {} / {} at p = 0 / 0.15 / 0.35",
+                    retries_at[0], retries_at[1], retries_at[2]
+                ),
+            ),
+            Check::new(
+                "dropped CTSes inflate latency",
+                lat_at[2] > lat_at[0],
+                format!("{:.1} µs at p=0.35 vs {:.1} µs healthy", lat_at[2], lat_at[0]),
+            ),
+            Check::new(
+                "crashed rep recovers on a fresh seed",
+                demo.recovered && demo.crash_attempts == 2,
+                format!(
+                    "rep {} status {:?} after {} attempt(s)",
+                    CRASH_REP, demo.crash_status, demo.crash_attempts
+                ),
+            ),
+            Check::new(
+                "black-out rep fails cleanly, bands from survivors",
+                demo.blackout_failed && demo.partial && bands.n == (reps as usize - 1),
+                format!(
+                    "{} of {} reps survived, median {:.1} µs [{:.1}, {:.1}]",
+                    bands.n, reps, bands.median, bands.d1, bands.d9
+                ),
+            ),
+        ];
+
+        vec![FigureData {
+            id: "faulted_pingpong",
+            title: format!(
+                "Rendezvous ping-pong ({} KiB) under injected CTS drops (henri)",
+                MSG_SIZE / 1024
+            ),
+            xlabel: "CTS drop probability",
+            ylabel: "latency (us)",
+            series: vec![lat, retries_series],
+            notes: vec![
+                "robustness extension, not a paper figure: each dropped clear-to-send costs the \
+                 sender one retransmission timeout (exponential backoff from 16x wire latency)"
+                    .into(),
+                format!(
+                    "crash-proof campaign: rep {} panics once and recovers on a retry seed; rep {} \
+                     runs a total CTS black-out and is reported as a partial result",
+                    CRASH_REP, BLACKOUT_REP
+                ),
+            ],
+            checks,
+            runs: demo.runs.clone(),
+        }]
+    }
+}
+
 /// Run the faulted ping-pong figure.
 pub fn run(fidelity: Fidelity) -> FigureData {
-    let pp = pingpong_cfg(fidelity);
-    let reps = fidelity.reps().max(4);
-    let probs = [0.0, 0.15, 0.35];
-
-    // ---- sweep: CTS drop probability vs latency / retry work ----
-    let mut lat = Series::new("latency");
-    let mut retries_series = Series::new("retries per rep");
-    let mut sweep_failures = 0usize;
-    let mut retries_at = Vec::new();
-    let mut lat_at = Vec::new();
-    for (pi, &p) in probs.iter().enumerate() {
-        let plan = FaultPlan::new(0xFA17 + pi as u64).with_cts_drop(p);
-        let campaign = runner::run_campaign(reps, 0xFA17_0000 + pi as u64, |rep, seed| {
-            let plan = FaultPlan { seed, ..plan.clone() };
-            run_rep(pp, &plan, seed, rep as u64)
-        });
-        sweep_failures += campaign.failed();
-        let lats: Vec<f64> = campaign.values.iter().map(|(_, v)| v.lat_us).collect();
-        let rets: Vec<f64> = campaign.values.iter().map(|(_, v)| v.retries as f64).collect();
-        lat.push(p, &lats);
-        retries_series.push(p, &rets);
-        lat_at.push(Summary::of(&lats).median);
-        retries_at.push(Summary::of(&rets).median);
-    }
-
-    // ---- resilience demo: crash recovery + permanent black-out ----
-    let demo_plan = FaultPlan::new(0xDE40).with_cts_drop(0.25);
-    let blackout_plan = FaultPlan::new(0xDE40).with_cts_drop(1.0);
-    let mut crash_attempts = 0u32;
-    let demo = runner::run_campaign(reps, 0xDE40_0000, |rep, seed| {
-        if rep == CRASH_REP {
-            crash_attempts += 1;
-            if crash_attempts == 1 {
-                panic!("injected crash: first attempt of rep {}", rep);
-            }
-        }
-        let base = if rep == BLACKOUT_REP { &blackout_plan } else { &demo_plan };
-        let plan = FaultPlan { seed, ..base.clone() };
-        run_rep(pp, &plan, seed, rep as u64)
-    });
-
-    let demo_lats: Vec<f64> = demo.values.iter().map(|(_, v)| v.lat_us).collect();
-    let bands = Summary::of(&demo_lats);
-    let recovered = matches!(demo.records[CRASH_REP as usize].status, RunStatus::Recovered { .. });
-    let blackout_failed =
-        matches!(demo.records[BLACKOUT_REP as usize].status, RunStatus::Failed { .. });
-
-    // Attach per-rep outcomes, enriched with the retry work of the reps
-    // that produced data.
-    let mut runs = demo.outcomes();
-    for (rep, v) in &demo.values {
-        let r = &mut runs[*rep as usize];
-        r.retries = v.retries;
-        r.retrans_bytes = v.retrans_bytes;
-        r.retry_wait_s = v.retry_wait_s;
-    }
-
-    let checks = vec![
-        Check::new(
-            "healthy plan needs no retries",
-            retries_at[0] == 0.0 && sweep_failures == 0,
-            format!(
-                "median retries {} at p=0, {} failed sweep rep(s)",
-                retries_at[0], sweep_failures
-            ),
-        ),
-        Check::new(
-            "retry work grows with drop probability",
-            retries_at[2] > retries_at[1] && retries_at[1] > 0.0,
-            format!(
-                "median retries/rep {} / {} / {} at p = 0 / 0.15 / 0.35",
-                retries_at[0], retries_at[1], retries_at[2]
-            ),
-        ),
-        Check::new(
-            "dropped CTSes inflate latency",
-            lat_at[2] > lat_at[0],
-            format!("{:.1} µs at p=0.35 vs {:.1} µs healthy", lat_at[2], lat_at[0]),
-        ),
-        Check::new(
-            "crashed rep recovers on a fresh seed",
-            recovered && crash_attempts == 2,
-            format!(
-                "rep {} status {:?} after {} attempt(s)",
-                CRASH_REP, demo.records[CRASH_REP as usize].status.label(), crash_attempts
-            ),
-        ),
-        Check::new(
-            "black-out rep fails cleanly, bands from survivors",
-            blackout_failed && demo.is_partial() && bands.n == (reps as usize - 1),
-            format!(
-                "{} of {} reps survived, median {:.1} µs [{:.1}, {:.1}]",
-                bands.n, reps, bands.median, bands.d1, bands.d9
-            ),
-        ),
-    ];
-
-    FigureData {
-        id: "faulted_pingpong",
-        title: format!(
-            "Rendezvous ping-pong ({} KiB) under injected CTS drops (henri)",
-            MSG_SIZE / 1024
-        ),
-        xlabel: "CTS drop probability",
-        ylabel: "latency (us)",
-        series: vec![lat, retries_series],
-        notes: vec![
-            "robustness extension, not a paper figure: each dropped clear-to-send costs the \
-             sender one retransmission timeout (exponential backoff from 16x wire latency)"
-                .into(),
-            format!(
-                "crash-proof campaign: rep {} panics once and recovers on a retry seed; rep {} \
-                 runs a total CTS black-out and is reported as a partial result",
-                CRASH_REP, BLACKOUT_REP
-            ),
-        ],
-        checks,
-        runs,
-    }
+    campaign::run_experiment(&FaultedPingpong, &campaign::CampaignOptions::serial(fidelity))
+        .figures
+        .remove(0)
 }
 
 #[cfg(test)]

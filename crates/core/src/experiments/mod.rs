@@ -1,12 +1,20 @@
-//! One driver per paper figure/table.
+//! One driver per paper figure/table, registered behind the
+//! [`crate::campaign::Experiment`] trait.
 //!
-//! Every driver returns a [`crate::report::FigureData`] containing the
+//! Every driver returns [`crate::report::FigureData`] containing the
 //! simulated series, notes quoting the paper's reference values and
 //! automated qualitative checks. Drivers take a [`Fidelity`]: `Full`
 //! matches the paper's sweep density (used by the `repro` binary and the
 //! benches), `Quick` thins sweeps and repetitions for tests.
+//!
+//! The per-module `run(fidelity)` helpers are thin wrappers over
+//! [`crate::campaign::run_experiment`]; whole-suite campaigns go through
+//! [`run_all`] / [`run_extensions`] or, with explicit options (parallel
+//! workers, shared baseline cache), [`crate::campaign::run_set`] over
+//! [`PAPER_EXPERIMENTS`] / [`EXTENSION_EXPERIMENTS`].
 
 pub mod ablations;
+pub mod contention;
 pub mod cross_machine;
 pub mod fig1_frequency;
 pub mod fig2_freq_dynamics;
@@ -22,6 +30,7 @@ pub mod overlap;
 pub mod fig10_usecases;
 pub mod table1;
 
+use crate::campaign::{self, CampaignOptions, Experiment};
 use crate::report::FigureData;
 
 /// Sweep density / repetition selector.
@@ -58,8 +67,26 @@ impl Fidelity {
         }
     }
 
-    /// Thin a sweep: `Full` keeps it, `Quick` keeps every k-th point plus
-    /// the endpoints.
+    /// Pick a fidelity-dependent scalar (`Full` vs `Quick`).
+    pub fn choose<T>(self, full: T, quick: T) -> T {
+        match self {
+            Fidelity::Full => full,
+            Fidelity::Quick => quick,
+        }
+    }
+
+    /// Pick a fidelity-dependent sweep: the full sweep, or a hand-picked
+    /// `Quick` subset (for sweeps where generic thinning would lose the
+    /// qualitative shape, e.g. a crossover that must stay straddled).
+    pub fn pick<T: Copy>(self, full: &[T], quick: &[T]) -> Vec<T> {
+        match self {
+            Fidelity::Full => full.to_vec(),
+            Fidelity::Quick => quick.to_vec(),
+        }
+    }
+
+    /// Thin a sweep: `Full` keeps it, `Quick` keeps the endpoints plus the
+    /// midpoint.
     pub fn thin<T: Copy>(self, xs: &[T]) -> Vec<T> {
         match self {
             Fidelity::Full => xs.to_vec(),
@@ -77,34 +104,60 @@ impl Fidelity {
     }
 }
 
+/// The paper's figures and table, in `run_all` (= figure) order.
+pub static PAPER_EXPERIMENTS: &[&dyn Experiment] = &[
+    &fig1_frequency::Fig1,
+    &fig2_freq_dynamics::Fig2,
+    &fig3_avx::Fig3,
+    &fig4_contention::Fig4,
+    &fig5_placement::Fig5,
+    &table1::Table1,
+    &fig6_msgsize::Fig6,
+    &fig7_intensity::Fig7,
+    &fig8_runtime_overhead::Fig8,
+    &fig9_polling::Fig9,
+    &fig10_usecases::Fig10,
+];
+
+/// The extension studies (not paper figures), in `run_extensions` order.
+pub static EXTENSION_EXPERIMENTS: &[&dyn Experiment] = &[
+    &cross_machine::CrossMachine,
+    &ablations::Ablations,
+    &overlap::Overlap,
+    &faulted_pingpong::FaultedPingpong,
+];
+
+/// Every registered experiment: paper figures first, then extensions.
+pub fn all_experiments() -> Vec<&'static dyn Experiment> {
+    PAPER_EXPERIMENTS
+        .iter()
+        .chain(EXTENSION_EXPERIMENTS)
+        .copied()
+        .collect()
+}
+
+/// Look an experiment up by registry name.
+pub fn find(name: &str) -> Option<&'static dyn Experiment> {
+    all_experiments().into_iter().find(|e| e.name() == name)
+}
+
 /// Run every figure driver on henri at the given fidelity. Used by the
 /// repro binary's `--all` mode and by the end-to-end integration test.
 pub fn run_all(fidelity: Fidelity) -> Vec<FigureData> {
-    let mut out = Vec::new();
-    out.extend(fig1_frequency::run(fidelity));
-    out.push(fig2_freq_dynamics::run(fidelity));
-    out.extend(fig3_avx::run(fidelity));
-    out.extend(fig4_contention::run(fidelity));
-    out.extend(fig5_placement::run(fidelity));
-    out.push(table1::run(fidelity));
-    out.extend(fig6_msgsize::run(fidelity));
-    out.extend(fig7_intensity::run(fidelity));
-    out.push(fig8_runtime_overhead::run(fidelity));
-    out.push(fig9_polling::run(fidelity));
-    out.extend(fig10_usecases::run(fidelity));
-    out
+    campaign::run_set(PAPER_EXPERIMENTS, &CampaignOptions::serial(fidelity))
+        .into_iter()
+        .flat_map(|r| r.figures)
+        .collect()
 }
 
 /// Run the extension experiments (cross-machine validation, model
 /// ablations, overlap study and the fault-injection demo) — not paper
 /// figures, but the studies DESIGN.md promises.
 pub fn run_extensions(fidelity: Fidelity) -> Vec<FigureData> {
-    vec![
-        cross_machine::run(fidelity),
-        ablations::run(fidelity),
-        overlap::run(fidelity),
-        faulted_pingpong::run(fidelity),
-    ]
+    campaign::run_set(EXTENSION_EXPERIMENTS, &CampaignOptions::serial(fidelity))
+        .into_iter()
+        .flat_map(|r| r.figures)
+        .collect()
 }
 
 /// Standard message-size sweep (powers of four, 4 B – 64 MiB).
@@ -134,5 +187,13 @@ mod tests {
         assert!(t.len() <= 4);
         let small = [1u32, 2];
         assert_eq!(Fidelity::Quick.thin(&small), vec![1, 2]);
+    }
+
+    #[test]
+    fn fidelity_selectors() {
+        assert_eq!(Fidelity::Full.choose(3, 2), 3);
+        assert_eq!(Fidelity::Quick.choose(3, 2), 2);
+        assert_eq!(Fidelity::Full.pick(&[1, 2, 3], &[1]), vec![1, 2, 3]);
+        assert_eq!(Fidelity::Quick.pick(&[1, 2, 3], &[1]), vec![1]);
     }
 }

@@ -24,15 +24,28 @@ use mpisim::ClusterEvent;
 use simcore::{JitterFamily, Series};
 use topology::{henri, NumaId};
 
+use crate::campaign::{self, expect_value, Experiment, PointCtx, PointValue, SweepPoint};
 use crate::experiments::Fidelity;
 use crate::protocol::{build_cluster, ProtocolConfig};
 use crate::report::{Check, FigureData};
 
-/// One overlap measurement: returns (T_comm, T_comp, T_total) in seconds.
-/// `cores` computing threads run the same per-core workload (the paper's
-/// weak-scaling style); several memory-bound cores are needed to saturate
-/// the controller the transfer also uses.
-fn measure(size: usize, ai: f64, cores: usize, seed: u64) -> (f64, f64, f64) {
+/// The two computation profiles probed at every size: CPU-bound (AI 64)
+/// and memory-bound (AI 0.1), both on 8 cores.
+const PROFILES: [(&str, f64); 2] = [("cpu", 64.0), ("mem", 0.1)];
+const CORES: usize = 8;
+
+fn sizes(fidelity: Fidelity) -> Vec<usize> {
+    fidelity.pick(&[64 << 10, 1 << 20, 8 << 20, 64 << 20], &[1 << 20, 64 << 20])
+}
+
+/// One overlap measurement: (T_comm, T_comp, T_total) in seconds.
+#[derive(Clone, Copy)]
+struct OverlapPoint(f64, f64, f64);
+
+/// One overlap measurement. `cores` computing threads run the same
+/// per-core workload (the paper's weak-scaling style); several memory-bound
+/// cores are needed to saturate the controller the transfer also uses.
+fn measure(size: usize, ai: f64, cores: usize, seed: u64) -> OverlapPoint {
     let machine = henri();
     let mk = || {
         let cfg = ProtocolConfig::new(machine.clone(), None);
@@ -107,7 +120,7 @@ fn measure(size: usize, ai: f64, cores: usize, seed: u64) -> (f64, f64, f64) {
         }
         (c.engine.now() - t0).as_secs_f64()
     };
-    (t_comm, t_comp, t_total)
+    OverlapPoint(t_comm, t_comp, t_total)
 }
 
 /// Overlap ratio from the three durations.
@@ -121,61 +134,100 @@ pub fn overlap_ratio(t_comm: f64, t_comp: f64, t_total: f64) -> f64 {
     }
 }
 
-/// Seed base for the overlap measurements.
-const OV_SEED: u64 = 0x0F_EE;
+/// Registry driver for the overlap study (sweep: {cpu, mem} × sizes).
+pub struct Overlap;
+
+impl Experiment for Overlap {
+    fn name(&self) -> &'static str {
+        "overlap"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "related work [7] companion study"
+    }
+
+    fn plan(&self, fidelity: Fidelity) -> Vec<SweepPoint> {
+        let sizes = sizes(fidelity);
+        let mut plan = Vec::new();
+        for (ai_i, (tag, ai)) in PROFILES.iter().enumerate() {
+            for (si, &size) in sizes.iter().enumerate() {
+                plan.push(SweepPoint::new(
+                    ai_i * sizes.len() + si,
+                    format!("{} (AI {}) @ {} B", tag, ai, size),
+                ));
+            }
+        }
+        plan
+    }
+
+    fn run_point(&self, point: &SweepPoint, ctx: &PointCtx<'_>) -> Result<PointValue, String> {
+        let sizes = sizes(ctx.fidelity);
+        let (_, ai) = PROFILES[point.index / sizes.len()];
+        let size = sizes[point.index % sizes.len()];
+        Ok(Box::new(measure(size, ai, CORES, ctx.seed)))
+    }
+
+    fn finalize(&self, fidelity: Fidelity, points: &[campaign::PointOutcome]) -> Vec<FigureData> {
+        let sizes = sizes(fidelity);
+        let mut s_cpu = Series::new("overlap ratio, CPU-bound computation (AI 64)");
+        let mut s_mem = Series::new("overlap ratio, memory-bound computation (AI 0.1)");
+        let mut s_stretch = Series::new("T_total / max(T_comm, T_comp), memory-bound");
+        for (si, &size) in sizes.iter().enumerate() {
+            let OverlapPoint(c1, p1, t1) = *expect_value::<OverlapPoint>(points, si);
+            s_cpu.push(size as f64, &[overlap_ratio(c1, p1, t1)]);
+            let OverlapPoint(c2, p2, t2) =
+                *expect_value::<OverlapPoint>(points, sizes.len() + si);
+            s_mem.push(size as f64, &[overlap_ratio(c2, p2, t2)]);
+            s_stretch.push(size as f64, &[t2 / c2.max(p2)]);
+        }
+
+        let cpu_min = s_cpu
+            .points
+            .iter()
+            .map(|p| p.y.median)
+            .fold(f64::MAX, f64::min);
+        let mem_last = s_mem.points.last().expect("points").y.median;
+        let stretch_last = s_stretch.points.last().expect("points").y.median;
+        let checks = vec![
+            Check::new(
+                "dedicated progress thread gives near-full overlap for CPU-bound compute",
+                cpu_min > 0.8,
+                format!("worst CPU-bound overlap ratio {:.2}", cpu_min),
+            ),
+            Check::new(
+                "memory-bound compute still overlaps (progression is not the problem…)",
+                mem_last > 0.5,
+                format!("large-message overlap ratio {:.2}", mem_last),
+            ),
+            Check::new(
+                "…but contention stretches the overlapped region beyond the ideal max",
+                stretch_last > 1.02,
+                format!("T_total / max = {:.2}", stretch_last),
+            ),
+        ];
+
+        vec![FigureData {
+            id: "overlap",
+            title: "Comm/comp overlap (companion study, after Denis & Trahay [7])".into(),
+            xlabel: "message size (B)",
+            ylabel: "overlap ratio",
+            series: vec![s_cpu, s_mem, s_stretch],
+            notes: vec![
+                "extension: not a figure of the reproduced paper; connects its interference \
+                 results to the overlap methodology it cites as related work"
+                    .into(),
+            ],
+            checks,
+            runs: Vec::new(),
+        }]
+    }
+}
 
 /// Run the overlap study across message sizes and intensities.
 pub fn run(fidelity: Fidelity) -> FigureData {
-    let sizes: Vec<usize> = match fidelity {
-        Fidelity::Full => vec![64 << 10, 1 << 20, 8 << 20, 64 << 20],
-        Fidelity::Quick => vec![1 << 20, 64 << 20],
-    };
-    let mut s_cpu = Series::new("overlap ratio, CPU-bound computation (AI 64)");
-    let mut s_mem = Series::new("overlap ratio, memory-bound computation (AI 0.1)");
-    let mut s_stretch = Series::new("T_total / max(T_comm, T_comp), memory-bound");
-    for (i, &size) in sizes.iter().enumerate() {
-        let (c1, p1, t1) = measure(size, 64.0, 8, OV_SEED + i as u64);
-        s_cpu.push(size as f64, &[overlap_ratio(c1, p1, t1)]);
-        let (c2, p2, t2) = measure(size, 0.1, 8, OV_SEED + 100 + i as u64);
-        s_mem.push(size as f64, &[overlap_ratio(c2, p2, t2)]);
-        s_stretch.push(size as f64, &[t2 / c2.max(p2)]);
-    }
-
-    let cpu_min = s_cpu.points.iter().map(|p| p.y.median).fold(f64::MAX, f64::min);
-    let mem_last = s_mem.points.last().expect("points").y.median;
-    let stretch_last = s_stretch.points.last().expect("points").y.median;
-    let checks = vec![
-        Check::new(
-            "dedicated progress thread gives near-full overlap for CPU-bound compute",
-            cpu_min > 0.8,
-            format!("worst CPU-bound overlap ratio {:.2}", cpu_min),
-        ),
-        Check::new(
-            "memory-bound compute still overlaps (progression is not the problem…)",
-            mem_last > 0.5,
-            format!("large-message overlap ratio {:.2}", mem_last),
-        ),
-        Check::new(
-            "…but contention stretches the overlapped region beyond the ideal max",
-            stretch_last > 1.02,
-            format!("T_total / max = {:.2}", stretch_last),
-        ),
-    ];
-
-    FigureData {
-        id: "overlap",
-        title: "Comm/comp overlap (companion study, after Denis & Trahay [7])".into(),
-        xlabel: "message size (B)",
-        ylabel: "overlap ratio",
-        series: vec![s_cpu, s_mem, s_stretch],
-        notes: vec![
-            "extension: not a figure of the reproduced paper; connects its interference \
-             results to the overlap methodology it cites as related work"
-                .into(),
-        ],
-        checks,
-        runs: Vec::new(),
-    }
+    campaign::run_experiment(&Overlap, &campaign::CampaignOptions::serial(fidelity))
+        .figures
+        .remove(0)
 }
 
 #[cfg(test)]

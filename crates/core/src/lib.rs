@@ -8,9 +8,13 @@
 //!   (computation alone → communication alone → both together), with
 //!   median/decile statistics over seeded repetitions;
 //! * [`experiments`] — one driver per figure/table of the paper
-//!   (`fig1_frequency` … `fig10_usecases`, `table1`), each returning
+//!   (`fig1_frequency` … `fig10_usecases`, `table1`), each implementing
+//!   the [`campaign::Experiment`] trait and returning
 //!   [`report::FigureData`] with the simulated series, the paper's
 //!   reference findings and automated qualitative checks;
+//! * [`campaign`] — the declarative campaign engine: sweep plans,
+//!   deterministic per-point seeding, a worker pool, per-point
+//!   crash-proofing and baseline memoization;
 //! * [`report`] — ASCII rendering and CSV export of figure data;
 //! * [`paper`] — the reference values extracted from the paper's text.
 //!
@@ -22,6 +26,7 @@
 // not as equal-width digit groups.
 #![allow(clippy::unusual_byte_groupings)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod paper;
 pub mod protocol;

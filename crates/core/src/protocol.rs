@@ -195,6 +195,57 @@ impl RepMetrics {
     }
 }
 
+/// Which steps of the three-step protocol to execute.
+///
+/// The steps are independent measurements — each repetition builds a fresh
+/// cluster per step from the same jitter family — so skipping a step never
+/// perturbs the others: the executed steps stay byte-identical to a full
+/// run. The campaign engine uses masks to memoize the "alone" baselines
+/// (steps 1 and 2), which do not depend on the sweep variable of most
+/// figures, while the together step runs fresh for every sweep point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StepMask {
+    /// Step 1: computation alone.
+    pub compute_alone: bool,
+    /// Step 2: communication alone.
+    pub comm_alone: bool,
+    /// Step 3: both together.
+    pub together: bool,
+}
+
+impl StepMask {
+    /// All three steps (the classic protocol).
+    pub const ALL: StepMask = StepMask {
+        compute_alone: true,
+        comm_alone: true,
+        together: true,
+    };
+    /// Only the communication-alone step.
+    pub const COMM_ALONE: StepMask = StepMask {
+        compute_alone: false,
+        comm_alone: true,
+        together: false,
+    };
+    /// Only the computation-alone step.
+    pub const COMPUTE_ALONE: StepMask = StepMask {
+        compute_alone: true,
+        comm_alone: false,
+        together: false,
+    };
+    /// Everything except the communication-alone step.
+    pub const WITHOUT_COMM_ALONE: StepMask = StepMask {
+        compute_alone: true,
+        comm_alone: false,
+        together: true,
+    };
+    /// Only the together step.
+    pub const TOGETHER: StepMask = StepMask {
+        compute_alone: false,
+        comm_alone: false,
+        together: true,
+    };
+}
+
 /// Results of the three steps across repetitions.
 #[derive(Clone, Debug, Default)]
 pub struct StepResults {
@@ -352,6 +403,17 @@ pub fn try_run_faulted(
     cfg: &ProtocolConfig,
     plan: &simcore::FaultPlan,
 ) -> Result<StepResults, ProtocolError> {
+    try_run_masked(cfg, plan, StepMask::ALL)
+}
+
+/// [`try_run_faulted`] restricted to a subset of the three steps. The
+/// executed steps produce byte-identical metrics to a `StepMask::ALL` run
+/// of the same configuration; the skipped steps' vectors stay empty.
+pub fn try_run_masked(
+    cfg: &ProtocolConfig,
+    plan: &simcore::FaultPlan,
+    mask: StepMask,
+) -> Result<StepResults, ProtocolError> {
     cfg.validate()?;
     plan.validate()
         .map_err(|e| ProtocolError::Cluster(ClusterError::from(e)))?;
@@ -359,7 +421,7 @@ pub fn try_run_faulted(
     let mut results = StepResults::default();
     for rep in 0..cfg.reps {
         // Step 1: computation alone.
-        if cfg.workload.is_some() && cfg.compute_cores > 0 {
+        if mask.compute_alone && cfg.workload.is_some() && cfg.compute_cores > 0 {
             let mut cluster = build_cluster(cfg, &family, rep as u64);
             apply_plan(&mut cluster, plan)?;
             let jobs = try_start_compute(cfg, &mut cluster)?;
@@ -371,7 +433,7 @@ pub fn try_run_faulted(
         }
 
         // Step 2: communication alone.
-        {
+        if mask.comm_alone {
             let mut cluster = build_cluster(cfg, &family, rep as u64);
             apply_plan(&mut cluster, plan)?;
             cluster.enable_profiling();
@@ -386,7 +448,7 @@ pub fn try_run_faulted(
         }
 
         // Step 3: together.
-        {
+        if mask.together {
             let mut cluster = build_cluster(cfg, &family, rep as u64);
             apply_plan(&mut cluster, plan)?;
             cluster.enable_profiling();
@@ -558,6 +620,21 @@ mod tests {
         let h = try_run(&cfg).unwrap();
         assert!(h.comm_alone.iter().all(|m| m.comm_retries == 0));
         assert!(h.comm_alone.iter().all(|m| m.comm_retry_wait_s == 0.0));
+    }
+
+    #[test]
+    fn masked_steps_match_full_run() {
+        let cfg = stream_cfg(4, PingPongConfig::latency(3));
+        let full = run(&cfg);
+        let plan = simcore::FaultPlan::new(cfg.seed);
+        let comm = try_run_masked(&cfg, &plan, StepMask::COMM_ALONE).unwrap();
+        assert!(comm.compute_alone.is_empty());
+        assert!(comm.together.is_empty());
+        assert_eq!(comm.lat_alone(), full.lat_alone());
+        let rest = try_run_masked(&cfg, &plan, StepMask::WITHOUT_COMM_ALONE).unwrap();
+        assert!(rest.comm_alone.is_empty());
+        assert_eq!(rest.lat_together(), full.lat_together());
+        assert_eq!(rest.compute_bw_alone(), full.compute_bw_alone());
     }
 
     #[test]

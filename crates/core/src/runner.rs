@@ -147,12 +147,14 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// Run `f` with panics caught and silenced; an `Err` return and a panic
-/// both come back as the error string.
-fn guarded<R, E: fmt::Display>(f: impl FnOnce() -> Result<R, E>) -> Result<R, String> {
+/// both come back as the error string. Nests: the campaign engine guards
+/// whole sweep points while `run_campaign` guards individual repetitions
+/// inside them, so the guard flag is saved and restored rather than reset.
+pub fn guarded<R, E: fmt::Display>(f: impl FnOnce() -> Result<R, E>) -> Result<R, String> {
     install_quiet_hook();
-    GUARDED.with(|g| g.set(true));
+    let prev = GUARDED.with(|g| g.replace(true));
     let caught = panic::catch_unwind(AssertUnwindSafe(f));
-    GUARDED.with(|g| g.set(false));
+    GUARDED.with(|g| g.set(prev));
     match caught {
         Ok(Ok(v)) => Ok(v),
         Ok(Err(e)) => Err(e.to_string()),

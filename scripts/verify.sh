@@ -13,4 +13,7 @@ cargo test -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
-echo "==> OK: build, tests and lints all green"
+echo "==> repro smoke: one figure through the parallel campaign engine"
+cargo run --release -p bench --bin repro -- --quick --only fig1 --jobs 2
+
+echo "==> OK: build, tests, lints and repro smoke all green"
