@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--jobs N] [--csv DIR] [--json FILE] [--timings FILE]
+//!       [--trace FILE]
 //!       [--list | --all | --fig N | --table 1 | --ext | --only NAME[,NAME]]
 //! ```
 //!
@@ -17,16 +18,22 @@
 //! Output is a textual report: simulated medians with first/last-decile
 //! bands, the paper's reference values as notes, PASS/FAIL qualitative
 //! checks, and a campaign timing summary.
+//!
+//! `--trace FILE` enables the deterministic telemetry layer and writes the
+//! merged campaign journal as Chrome trace-event JSON — open it in
+//! `chrome://tracing` or <https://ui.perfetto.dev>. The journal is keyed to
+//! sim-time only, so the file is byte-identical at any `--jobs` level.
 
 use std::io::Write;
 use std::time::Instant;
 
-use interference::campaign::{CampaignOptions, Experiment, ExperimentRun};
+use interference::campaign::{CampaignOptions, CampaignReport, Experiment, ExperimentRun};
 use interference::experiments::{self, Fidelity};
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--jobs N] [--csv DIR] [--json FILE] [--timings FILE]\n\
+         \x20            [--trace FILE]\n\
          \x20            [--list | --all | --fig N | --table 1 | --ext | --only NAME[,NAME]]"
     );
     std::process::exit(2);
@@ -39,6 +46,7 @@ fn main() {
     let mut csv_dir: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut timings_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut list = false;
     let mut select: Option<String> = None;
     let mut only: Vec<String> = Vec::new();
@@ -66,6 +74,10 @@ fn main() {
             "--timings" => {
                 i += 1;
                 timings_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--all" => select = None,
             "--ext" => select = Some("ext".into()),
@@ -99,10 +111,21 @@ fn main() {
     }
 
     let exps = selected_experiments(select.as_deref(), &only);
-    let opts = CampaignOptions::new(fidelity, jobs);
+    let opts = CampaignOptions::new(fidelity, jobs).with_telemetry(trace_path.is_some());
     let t0 = Instant::now();
-    let runs = interference::campaign::run_set(&exps, &opts);
+    let (runs, report) = interference::campaign::run_set_with_report(&exps, &opts);
     let wall = t0.elapsed();
+
+    if let Some(path) = &trace_path {
+        let journal = report.journal.as_ref().expect("telemetry was enabled");
+        std::fs::write(path, journal.to_chrome_json()).expect("write trace");
+        println!(
+            "(chrome trace written to {}: {} records across {} categories)",
+            path,
+            journal.records.len(),
+            journal.categories().len()
+        );
+    }
 
     let mut failed = 0;
     let mut figs = Vec::new();
@@ -127,10 +150,13 @@ fn main() {
         println!("(json written to {})", path);
     }
 
-    print_timings(&runs, jobs, wall.as_secs_f64());
+    print_timings(&runs, &report, jobs, wall.as_secs_f64());
     if let Some(path) = &timings_path {
-        std::fs::write(path, timings_json(&runs, fidelity, jobs, wall.as_secs_f64()))
-            .expect("write timings");
+        std::fs::write(
+            path,
+            timings_json(&runs, &report, fidelity, jobs, wall.as_secs_f64()),
+        )
+        .expect("write timings");
         println!("(timings written to {})", path);
     }
 
@@ -187,12 +213,13 @@ fn print_list() {
     }
 }
 
-/// Campaign timing summary: per-experiment busy time and throughput.
-fn print_timings(runs: &[ExperimentRun], jobs: usize, wall_s: f64) {
+/// Campaign timing summary: per-experiment busy time and throughput, plus
+/// a telemetry section (cache statistics; journal size when recording).
+fn print_timings(runs: &[ExperimentRun], report: &CampaignReport, jobs: usize, wall_s: f64) {
     println!("== campaign timings ({} job(s)) ==", jobs);
     for r in runs {
         println!(
-            "   {:<18} {:>3} point(s){} {:>8.2} s busy  {:>6.2} points/s",
+            "   {:<18} {:>3} point(s){} {:>8.2} s busy  {:>6.2} points/s{}",
             r.name,
             r.points,
             if r.failed_points > 0 {
@@ -201,7 +228,12 @@ fn print_timings(runs: &[ExperimentRun], jobs: usize, wall_s: f64) {
                 String::new()
             },
             r.busy.as_secs_f64(),
-            r.points_per_sec()
+            r.points_per_sec(),
+            if report.journal.is_some() {
+                format!("  {:.3} s sim", r.sim.as_secs_f64())
+            } else {
+                String::new()
+            }
         );
     }
     let busy: f64 = runs.iter().map(|r| r.busy.as_secs_f64()).sum();
@@ -211,11 +243,39 @@ fn print_timings(runs: &[ExperimentRun], jobs: usize, wall_s: f64) {
         busy,
         if wall_s > 0.0 { busy / wall_s } else { 0.0 }
     );
+    println!("== telemetry ==");
+    println!(
+        "   baselines: {} lookup(s), {} computed, {} cache hit(s)",
+        report.baseline_calls,
+        report.baseline_computed,
+        report.baseline_calls - report.baseline_computed
+    );
+    match &report.journal {
+        Some(j) => {
+            println!(
+                "   journal: {} record(s), {} counter(s), {} histogram(s), {:.3} s simulated",
+                j.records.len(),
+                j.counters.len(),
+                j.samples.len(),
+                j.end_time().as_secs_f64()
+            );
+            for (name, value) in &j.counters {
+                println!("   counter {:<18} {}", name, value);
+            }
+        }
+        None => println!("   journal: disabled (enable with --trace FILE)"),
+    }
     println!();
 }
 
 /// Machine-readable timing record (`--timings FILE`).
-fn timings_json(runs: &[ExperimentRun], fidelity: Fidelity, jobs: usize, wall_s: f64) -> String {
+fn timings_json(
+    runs: &[ExperimentRun],
+    report: &CampaignReport,
+    fidelity: Fidelity,
+    jobs: usize,
+    wall_s: f64,
+) -> String {
     let mut out = String::from("{");
     out.push_str(&format!(
         "\"fidelity\":\"{:?}\",\"jobs\":{},\"wall_s\":{:.3},\"experiments\":[",
@@ -226,13 +286,37 @@ fn timings_json(runs: &[ExperimentRun], fidelity: Fidelity, jobs: usize, wall_s:
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"name\":\"{}\",\"points\":{},\"failed_points\":{},\"busy_s\":{:.3}}}",
+            "{{\"name\":\"{}\",\"points\":{},\"failed_points\":{},\"busy_s\":{:.3},\"sim_s\":{:.6}}}",
             r.name,
             r.points,
             r.failed_points,
-            r.busy.as_secs_f64()
+            r.busy.as_secs_f64(),
+            r.sim.as_secs_f64()
         ));
     }
-    out.push_str("]}\n");
+    out.push_str("],\"telemetry\":{");
+    out.push_str(&format!(
+        "\"enabled\":{},\"baseline_calls\":{},\"baseline_computed\":{}",
+        report.journal.is_some(),
+        report.baseline_calls,
+        report.baseline_computed
+    ));
+    if let Some(j) = &report.journal {
+        out.push_str(&format!(
+            ",\"records\":{},\"sim_s\":{:.6},\"counters\":{{",
+            j.records.len(),
+            j.end_time().as_secs_f64()
+        ));
+        for (i, (name, value)) in j.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", name, value));
+        }
+        out.push_str("}}");
+    } else {
+        out.push('}');
+    }
+    out.push_str("}\n");
     out
 }

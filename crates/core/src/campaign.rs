@@ -29,12 +29,13 @@
 //! recomputing three overlapping placement sweeps.
 
 use std::any::Any;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use simcore::SplitMix64;
+use simcore::telemetry::{self, Journal, Lane, Record, RecordKind};
+use simcore::{SimTime, SplitMix64};
 
 use crate::experiments::Fidelity;
 use crate::report::FigureData;
@@ -108,6 +109,9 @@ pub struct PointOutcome {
     pub value: Option<PointValue>,
     /// Wall time spent executing the point (all attempts).
     pub wall: Duration,
+    /// Telemetry journal of the attempt the outcome describes, when the
+    /// campaign ran with [`CampaignOptions::telemetry`] enabled.
+    pub journal: Option<Journal>,
 }
 
 /// Downcast the value of point `index`, panicking with the recorded error
@@ -156,6 +160,13 @@ type Slot = Arc<OnceLock<Arc<dyn Any + Send + Sync>>>;
 #[derive(Default)]
 pub struct BaselineCache {
     slots: Mutex<HashMap<String, Slot>>,
+    calls: AtomicU64,
+    computed: AtomicU64,
+    /// Telemetry journals of computed baselines, keyed like `slots`. A
+    /// baseline's journal depends only on its key (the seed derives from
+    /// it), so the map content is deterministic no matter which worker
+    /// computes first.
+    journals: Mutex<BTreeMap<String, Journal>>,
 }
 
 impl BaselineCache {
@@ -167,19 +178,55 @@ impl BaselineCache {
     /// Fetch the value under `key`, computing it with `f(baseline_seed(key))`
     /// on first use. Nested calls (a cached value that itself needs another
     /// baseline) are fine as long as keys do not form a cycle.
+    ///
+    /// Computation runs under [`telemetry::isolate`]: *which* sweep point
+    /// happens to populate a shared slot is a scheduling race under
+    /// `--jobs N`, so a baseline's internal events must never land in any
+    /// point's journal — they are recorded into a per-key journal instead
+    /// (see [`BaselineCache::take_journals`]), whose content depends only on
+    /// the key.
     pub fn get_or_compute<T, F>(&self, key: &str, f: F) -> Arc<T>
     where
         T: Any + Send + Sync,
         F: FnOnce(u64) -> T,
     {
+        self.calls.fetch_add(1, Ordering::Relaxed);
         let slot = {
             let mut slots = self.slots.lock().expect("baseline cache poisoned");
             slots.entry(key.to_string()).or_default().clone()
         };
-        let v = slot.get_or_init(|| Arc::new(f(baseline_seed(key))) as Arc<dyn Any + Send + Sync>);
+        let v = slot.get_or_init(|| {
+            self.computed.fetch_add(1, Ordering::Relaxed);
+            let (v, journal) = telemetry::isolate(|| {
+                Arc::new(f(baseline_seed(key))) as Arc<dyn Any + Send + Sync>
+            });
+            if let Some(j) = journal {
+                self.journals
+                    .lock()
+                    .expect("baseline journals poisoned")
+                    .insert(key.to_string(), j);
+            }
+            v
+        });
         Arc::clone(v)
             .downcast::<T>()
             .unwrap_or_else(|_| panic!("baseline cache type mismatch for key {:?}", key))
+    }
+
+    /// Drain the telemetry journals of every computed baseline, sorted by
+    /// key (deterministic regardless of compute order).
+    pub fn take_journals(&self) -> BTreeMap<String, Journal> {
+        std::mem::take(&mut *self.journals.lock().expect("baseline journals poisoned"))
+    }
+
+    /// Total lookups (hits + computes) so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that actually ran the compute closure.
+    pub fn computed(&self) -> u64 {
+        self.computed.load(Ordering::Relaxed)
     }
 
     /// Number of distinct baselines computed so far.
@@ -200,6 +247,10 @@ pub struct CampaignOptions {
     pub fidelity: Fidelity,
     /// Worker threads executing sweep points (min 1).
     pub jobs: usize,
+    /// Record a telemetry [`Journal`] per point and merge them into the
+    /// campaign report. Journals are keyed to sim-time and plan order only,
+    /// so the merged journal is byte-identical at any `jobs` level.
+    pub telemetry: bool,
 }
 
 impl CampaignOptions {
@@ -208,12 +259,19 @@ impl CampaignOptions {
         CampaignOptions {
             fidelity,
             jobs: jobs.max(1),
+            telemetry: false,
         }
     }
 
     /// Single-worker options (the classic sequential behaviour).
     pub fn serial(fidelity: Fidelity) -> CampaignOptions {
         CampaignOptions::new(fidelity, 1)
+    }
+
+    /// Toggle telemetry recording.
+    pub fn with_telemetry(mut self, on: bool) -> CampaignOptions {
+        self.telemetry = on;
+        self
     }
 }
 
@@ -230,6 +288,9 @@ pub struct ExperimentRun {
     /// Busy time: summed point execution time plus finalize. Under
     /// parallel execution this is work time, not elapsed wall time.
     pub busy: Duration,
+    /// Total *simulated* time covered by the experiment's point journals.
+    /// Deterministic (unlike `busy`); [`SimTime::ZERO`] with telemetry off.
+    pub sim: SimTime,
 }
 
 impl ExperimentRun {
@@ -245,42 +306,53 @@ impl ExperimentRun {
 }
 
 /// Execute one sweep point: guarded first attempt on [`point_seed`], one
-/// guarded retry on a fresh seed, structured failure otherwise.
+/// guarded retry on a fresh seed, structured failure otherwise. With
+/// `record` set, each attempt runs under a fresh thread-local telemetry
+/// recorder and the outcome carries the journal of the attempt it
+/// describes (the retry's journal when the first attempt failed).
 fn execute_point(
     exp: &dyn Experiment,
     point: &SweepPoint,
     fidelity: Fidelity,
+    record: bool,
     baselines: &BaselineCache,
 ) -> PointOutcome {
     let t0 = Instant::now();
     let seed = point_seed(exp.name(), point.index);
     let attempt = |seed: u64| {
+        if record {
+            telemetry::install();
+        }
         let ctx = PointCtx {
             fidelity,
             seed,
             baselines,
         };
-        runner::guarded(|| exp.run_point(point, &ctx))
+        let res = runner::guarded(|| exp.run_point(point, &ctx));
+        let journal = if record { telemetry::take() } else { None };
+        (res, journal)
     };
-    let (seed, status, value) = match attempt(seed) {
-        Ok(v) => (seed, RunStatus::Completed, Some(v)),
-        Err(first_error) => {
+    let (seed, status, value, journal) = match attempt(seed) {
+        (Ok(v), journal) => (seed, RunStatus::Completed, Some(v), journal),
+        (Err(first_error), _) => {
             let fresh = runner::retry_seed(seed, point.index as u32);
             match attempt(fresh) {
-                Ok(v) => (
+                (Ok(v), journal) => (
                     fresh,
                     RunStatus::Recovered {
                         failed_seed: seed,
                         error: first_error,
                     },
                     Some(v),
+                    journal,
                 ),
-                Err(second_error) => (
+                (Err(second_error), journal) => (
                     fresh,
                     RunStatus::Failed {
                         error: second_error,
                     },
                     None,
+                    journal,
                 ),
             }
         }
@@ -292,7 +364,20 @@ fn execute_point(
         status,
         value,
         wall: t0.elapsed(),
+        journal,
     }
+}
+
+/// Campaign-wide aggregates produced alongside the per-experiment runs.
+pub struct CampaignReport {
+    /// Baseline-cache lookups across the whole campaign.
+    pub baseline_calls: u64,
+    /// Baseline-cache lookups that actually computed (the rest were hits).
+    pub baseline_computed: u64,
+    /// Merged telemetry journal: every point's journal in plan order on one
+    /// timeline, wrapped in per-point and per-experiment "campaign" spans.
+    /// `None` when telemetry was off.
+    pub journal: Option<Journal>,
 }
 
 /// Run a set of experiments as one campaign: every sweep point of every
@@ -300,6 +385,15 @@ fn execute_point(
 /// threads (so a short experiment's points fill the gaps of a long one),
 /// then each experiment finalizes serially in the given order.
 pub fn run_set(exps: &[&dyn Experiment], opts: &CampaignOptions) -> Vec<ExperimentRun> {
+    run_set_with_report(exps, opts).0
+}
+
+/// [`run_set`] plus the campaign-wide [`CampaignReport`] (cache statistics
+/// and, with [`CampaignOptions::telemetry`] on, the merged journal).
+pub fn run_set_with_report(
+    exps: &[&dyn Experiment],
+    opts: &CampaignOptions,
+) -> (Vec<ExperimentRun>, CampaignReport) {
     let cache = BaselineCache::new();
     let plans: Vec<Vec<SweepPoint>> = exps.iter().map(|e| e.plan(opts.fidelity)).collect();
     let tasks: Vec<(usize, usize)> = plans
@@ -322,16 +416,28 @@ pub fn run_set(exps: &[&dyn Experiment], opts: &CampaignOptions) -> Vec<Experime
                     break;
                 }
                 let (ei, pi) = tasks[t];
-                let outcome = execute_point(exps[ei], &plans[ei][pi], opts.fidelity, &cache);
+                let outcome =
+                    execute_point(exps[ei], &plans[ei][pi], opts.fidelity, opts.telemetry, &cache);
                 *results[ei][pi].lock().expect("result slot poisoned") = Some(outcome);
             });
         }
     });
 
-    exps.iter()
+    // Merge point journals in plan order onto one campaign timeline. The
+    // merge depends only on plan order and sim-time, so the merged journal
+    // is byte-identical at any worker count.
+    let mut merged = if opts.telemetry {
+        Some(Journal::default())
+    } else {
+        None
+    };
+    let mut offset = SimTime::ZERO;
+
+    let runs = exps
+        .iter()
         .zip(results)
         .map(|(exp, slots)| {
-            let outcomes: Vec<PointOutcome> = slots
+            let mut outcomes: Vec<PointOutcome> = slots
                 .into_iter()
                 .map(|m| {
                     m.into_inner()
@@ -339,6 +445,36 @@ pub fn run_set(exps: &[&dyn Experiment], opts: &CampaignOptions) -> Vec<Experime
                         .expect("every queued point executes")
                 })
                 .collect();
+            let exp_start = offset;
+            if let Some(merged) = merged.as_mut() {
+                for o in &mut outcomes {
+                    let Some(mut j) = o.journal.take() else {
+                        continue;
+                    };
+                    let end = j.end_time();
+                    merged.records.push(Record {
+                        t: offset,
+                        kind: RecordKind::Complete {
+                            cat: "campaign",
+                            name: o.label.clone(),
+                            lane: Lane::Campaign,
+                            dur: end,
+                        },
+                    });
+                    j.shift(offset);
+                    merged.append(j);
+                    offset = SimTime(offset.0.saturating_add(end.0));
+                }
+                merged.records.push(Record {
+                    t: exp_start,
+                    kind: RecordKind::Complete {
+                        cat: "campaign",
+                        name: exp.name().to_string(),
+                        lane: Lane::Campaign,
+                        dur: offset.saturating_sub(exp_start),
+                    },
+                });
+            }
             let point_time: Duration = outcomes.iter().map(|o| o.wall).sum();
             let failed = outcomes
                 .iter()
@@ -352,9 +488,37 @@ pub fn run_set(exps: &[&dyn Experiment], opts: &CampaignOptions) -> Vec<Experime
                 points: outcomes.len(),
                 failed_points: failed,
                 busy: point_time + t0.elapsed(),
+                sim: offset.saturating_sub(exp_start),
             }
         })
-        .collect()
+        .collect();
+
+    // Shared baselines recorded under `isolate` merge last, in key order:
+    // deterministic no matter which worker computed them.
+    if let Some(merged) = merged.as_mut() {
+        for (key, mut j) in cache.take_journals() {
+            let end = j.end_time();
+            merged.records.push(Record {
+                t: offset,
+                kind: RecordKind::Complete {
+                    cat: "campaign",
+                    name: format!("baseline: {}", key),
+                    lane: Lane::Campaign,
+                    dur: end,
+                },
+            });
+            j.shift(offset);
+            merged.append(j);
+            offset = SimTime(offset.0.saturating_add(end.0));
+        }
+    }
+
+    let report = CampaignReport {
+        baseline_calls: cache.calls(),
+        baseline_computed: cache.computed(),
+        journal: merged,
+    };
+    (runs, report)
 }
 
 /// Run a single experiment (its own cache, no cross-experiment sharing).
@@ -366,13 +530,19 @@ pub fn run_experiment(exp: &dyn Experiment, opts: &CampaignOptions) -> Experimen
 
 /// Execute only the sweep points of one experiment, serially, returning the
 /// raw outcomes — for callers that post-process points without the figure
-/// assembly (e.g. `table1::rows`).
-pub fn run_points(exp: &dyn Experiment, fidelity: Fidelity) -> Vec<PointOutcome> {
+/// assembly (e.g. `table1::rows`). Honours [`CampaignOptions::telemetry`];
+/// `jobs` is ignored (points execute on the calling thread).
+pub fn run_points_with(exp: &dyn Experiment, opts: &CampaignOptions) -> Vec<PointOutcome> {
     let cache = BaselineCache::new();
-    exp.plan(fidelity)
+    exp.plan(opts.fidelity)
         .iter()
-        .map(|p| execute_point(exp, p, fidelity, &cache))
+        .map(|p| execute_point(exp, p, opts.fidelity, opts.telemetry, &cache))
         .collect()
+}
+
+/// [`run_points_with`] at the given fidelity with telemetry off.
+pub fn run_points(exp: &dyn Experiment, fidelity: Fidelity) -> Vec<PointOutcome> {
+    run_points_with(exp, &CampaignOptions::serial(fidelity))
 }
 
 #[cfg(test)]

@@ -422,6 +422,9 @@ pub fn try_run_masked(
     for rep in 0..cfg.reps {
         // Step 1: computation alone.
         if mask.compute_alone && cfg.workload.is_some() && cfg.compute_cores > 0 {
+            if simcore::telemetry::is_active() {
+                simcore::telemetry::mark_run(&format!("rep{}/compute_alone", rep));
+            }
             let mut cluster = build_cluster(cfg, &family, rep as u64);
             apply_plan(&mut cluster, plan)?;
             let jobs = try_start_compute(cfg, &mut cluster)?;
@@ -434,6 +437,9 @@ pub fn try_run_masked(
 
         // Step 2: communication alone.
         if mask.comm_alone {
+            if simcore::telemetry::is_active() {
+                simcore::telemetry::mark_run(&format!("rep{}/comm_alone", rep));
+            }
             let mut cluster = build_cluster(cfg, &family, rep as u64);
             apply_plan(&mut cluster, plan)?;
             cluster.enable_profiling();
@@ -449,6 +455,9 @@ pub fn try_run_masked(
 
         // Step 3: together.
         if mask.together {
+            if simcore::telemetry::is_active() {
+                simcore::telemetry::mark_run(&format!("rep{}/together", rep));
+            }
             let mut cluster = build_cluster(cfg, &family, rep as u64);
             apply_plan(&mut cluster, plan)?;
             cluster.enable_profiling();

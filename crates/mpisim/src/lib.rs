@@ -28,6 +28,7 @@ use memsim::exec::{Executor, JobId, JobSpec, JobStats};
 use memsim::MemSystem;
 use netsim::{NetEvent, NetSim, NodeRef, TransferId};
 use simcore::faults::{FaultPlan, FaultPlanError};
+use simcore::telemetry::{self, Lane};
 use simcore::{tags, Engine, EngineError, Event, JitterFamily, SimTime};
 use topology::{CoreId, MachineSpec, NumaId, Placement};
 
@@ -361,6 +362,15 @@ impl Cluster {
             )
         };
         let req = ReqId(self.sends.len() as u32);
+        if telemetry::is_active() {
+            telemetry::async_begin(
+                self.engine.now(),
+                "mpi.send",
+                &format!("send {}B", size),
+                req.0 as u64,
+                Lane::Node(from as u8),
+            );
+        }
         self.sends.push(SendReq {
             state: ReqState::Pending,
             elapsed: None,
@@ -385,6 +395,13 @@ impl Cluster {
     pub fn irecv(&mut self, node: usize, mtag: u32) -> ReqId {
         let src = 1 - node;
         let req = ReqId(self.recvs.len() as u32);
+        telemetry::async_begin(
+            self.engine.now(),
+            "mpi.recv",
+            "recv",
+            req.0 as u64,
+            Lane::Node(node as u8),
+        );
         let mut rr = RecvReq {
             node,
             src,
@@ -403,6 +420,8 @@ impl Cluster {
             rr.matched = Some(transfer);
             if delivered {
                 rr.state = ReqState::Complete;
+                // The payload already arrived: the request is instantaneous.
+                telemetry::async_end(self.engine.now(), "mpi.recv", req.0 as u64, Lane::Node(node as u8));
             } else {
                 self.net.recv_ready(&mut self.engine, transfer);
             }
@@ -540,6 +559,12 @@ impl Cluster {
                     let s = &mut self.sends[sreq as usize];
                     s.state = ReqState::Complete;
                     s.elapsed = Some(sender_elapsed);
+                    telemetry::async_end(
+                        self.engine.now(),
+                        "mpi.send",
+                        sreq as u64,
+                        Lane::Node(from as u8),
+                    );
                     if self.profiling {
                         let rs = self.net.retry_stats(id);
                         self.profile.push(SendRecord {
@@ -557,6 +582,12 @@ impl Cluster {
                     // Find the matched receive, if any.
                     if let Some(ri) = self.recvs.iter().position(|r| r.matched == Some(id)) {
                         self.recvs[ri].state = ReqState::Complete;
+                        telemetry::async_end(
+                            self.engine.now(),
+                            "mpi.recv",
+                            ri as u64,
+                            Lane::Node(self.recvs[ri].node as u8),
+                        );
                         ret = Some(ClusterEvent::RecvComplete(ReqId(ri as u32)));
                     } else if let Some(u) = self
                         .unexpected
@@ -568,12 +599,15 @@ impl Cluster {
                     }
                 }
                 NetEvent::Failed { id, retries } => {
-                    let (_, sreq, _, _) = *self
+                    let (_, sreq, _, from) = *self
                         .transfer_req
                         .iter()
                         .find(|(t, _, _, _)| *t == id)
                         .expect("known transfer");
                     self.sends[sreq as usize].state = ReqState::Failed;
+                    let lane = Lane::Node(from as u8);
+                    telemetry::instant(self.engine.now(), "mpi", "send.failed", lane);
+                    telemetry::async_end(self.engine.now(), "mpi.send", sreq as u64, lane);
                     // The matched receive (or queued unexpected arrival)
                     // will never complete either.
                     if let Some(ri) = self.recvs.iter().position(|r| r.matched == Some(id)) {

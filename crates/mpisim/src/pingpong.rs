@@ -128,6 +128,7 @@ pub fn try_run_with_background(
         wait_recv(cluster, r, s, &mut background)?;
         if rep >= cfg.warmup {
             let rtt = cluster.engine.now() - t0;
+            simcore::telemetry::sample("pingpong.half_rtt_us", (rtt / 2).as_micros_f64());
             half_rtts.push(rtt / 2);
         }
     }

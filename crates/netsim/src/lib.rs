@@ -28,6 +28,7 @@ use std::collections::HashSet;
 use freq::FreqModel;
 use memsim::{MemSystem, Requester};
 use simcore::faults::{FaultPlan, FaultPlanError, STREAM_DROP_CTS, STREAM_DROP_RTS};
+use simcore::telemetry::{self, Lane};
 use simcore::{
     kind_index, split_kind_index, tag, tags, Engine, FlowSpec, Pcg32, ResourceId, SimTime,
 };
@@ -383,6 +384,17 @@ impl NetSim {
         buffer: u64,
     ) -> TransferId {
         let id = TransferId(self.transfers.len() as u32);
+        telemetry::async_begin(
+            engine.now(),
+            "net.xfer",
+            if size <= self.cfg.eager_threshold {
+                "eager"
+            } else {
+                "rdv"
+            },
+            id.0 as u64,
+            Lane::Node(from_node as u8),
+        );
         self.transfers.push(Some(Transfer {
             from: from_node,
             size,
@@ -430,22 +442,26 @@ impl NetSim {
 
     fn send_cts(&mut self, engine: &mut Engine, id: TransferId) {
         let tid = id.0 as usize;
-        let resend = {
+        let (resend, from) = {
             let t = self.transfers[tid].as_mut().expect("live transfer");
             let resend = t.cts_sent;
             t.cts_sent = true;
-            resend
+            (resend, t.from)
         };
         if resend {
             self.retry_stats[tid].retrans_bytes += CTRL_MSG_BYTES;
         }
+        // The CTS originates on the receiver's node.
+        let cts_lane = Lane::Node(1 - from as u8);
         // Fault injection: the CTS may be lost on the wire. The sender's
         // retransmission timeout will eventually re-drive the handshake.
         if let Some(rng) = &mut self.drop_cts_rng {
             if rng.next_f64() < self.faults.drop_cts {
+                telemetry::instant(engine.now(), "net", "cts.drop", cts_lane);
                 return;
             }
         }
+        telemetry::instant(engine.now(), "net", "cts", cts_lane);
         // CTS crosses the wire back to the sender.
         let lat = SimTime::from_secs_f64(self.cfg.wire_latency_s * self.lat_mult);
         engine.after(lat, self.step_tag(id, Step::CtsArrived));
@@ -469,17 +485,22 @@ impl NetSim {
         // handle them before the per-transfer prologue.
         match step {
             Step::LinkFaultStart | Step::LinkFaultEnd => {
-                self.degradation_active[tid as usize] = step == Step::LinkFaultStart;
+                let starting = step == Step::LinkFaultStart;
+                self.degradation_active[tid as usize] = starting;
+                let name = if starting { "link.degrade" } else { "link.restore" };
+                telemetry::instant(engine.now(), "net", name, Lane::Engine);
                 self.refresh_caps(engine);
                 return out;
             }
             Step::NicStallStart => {
                 self.stalls_active += 1;
+                telemetry::instant(engine.now(), "net", "nic.stall", Lane::Engine);
                 self.refresh_caps(engine);
                 return out;
             }
             Step::NicStallEnd => {
                 self.stalls_active -= 1;
+                telemetry::instant(engine.now(), "net", "nic.resume", Lane::Engine);
                 self.refresh_caps(engine);
                 return out;
             }
@@ -523,8 +544,17 @@ impl NetSim {
                             (self.cfg.reg_base_s + self.cfg.reg_per_byte_s * size as f64)
                                 * self.lat_mult,
                         );
+                        telemetry::counter_add("net.reg_miss", 1);
+                        telemetry::complete(
+                            engine.now(),
+                            engine.now() + cost,
+                            "net",
+                            "register",
+                            Lane::Node(from as u8),
+                        );
                         engine.after(cost, self.step_tag(id, Step::Registration));
                     } else {
+                        telemetry::counter_add("net.reg_hit", 1);
                         self.send_rts(engine, id);
                     }
                 }
@@ -553,6 +583,10 @@ impl NetSim {
             Step::EagerPayload => {
                 let t = self.transfers[tid as usize].as_mut().expect("live transfer");
                 t.send_done = Some(engine.now());
+                telemetry::sample(
+                    "net.sender_elapsed_us",
+                    (engine.now() - t.started).as_micros_f64(),
+                );
                 out.push(NetEvent::SendComplete {
                     id,
                     sender_elapsed: engine.now() - t.started,
@@ -585,6 +619,13 @@ impl NetSim {
                     }
                     t.dma_started = true;
                 }
+                telemetry::async_begin(
+                    engine.now(),
+                    "net.dma",
+                    "dma",
+                    id.0 as u64,
+                    Lane::Node(from as u8),
+                );
                 // DMA: the NIC pulls from sender memory and pushes into
                 // receiver memory; the weight reflects the NIC's
                 // outstanding-request aggressiveness.
@@ -604,6 +645,11 @@ impl NetSim {
             Step::DmaDone => {
                 let t = self.transfers[tid as usize].as_mut().expect("live transfer");
                 t.send_done = Some(engine.now());
+                telemetry::async_end(engine.now(), "net.dma", id.0 as u64, Lane::Node(from as u8));
+                telemetry::sample(
+                    "net.sender_elapsed_us",
+                    (engine.now() - t.started).as_micros_f64(),
+                );
                 out.push(NetEvent::SendComplete {
                     id,
                     sender_elapsed: engine.now() - t.started,
@@ -631,6 +677,7 @@ impl NetSim {
             }
             Step::RecvCtrl => {
                 self.transfers[tid as usize] = None;
+                telemetry::async_end(engine.now(), "net.xfer", id.0 as u64, Lane::Node(from as u8));
                 out.push(NetEvent::Delivered { id });
             }
             Step::LinkFaultStart
@@ -664,14 +711,19 @@ impl NetSim {
         }
         // Either the RTS or the CTS was lost: retransmit with backoff.
         let waited = t.rto;
+        let from = t.from;
         t.retries += 1;
         t.rto = t.rto * 2;
         let retries = t.retries;
         let stats = &mut self.retry_stats[tid];
         stats.retries += 1;
         stats.retry_wait += waited;
+        telemetry::counter_add("net.retrans", 1);
+        telemetry::instant(engine.now(), "net", "rto", Lane::Node(from as u8));
         if retries > self.max_retries {
             self.transfers[tid] = None;
+            telemetry::instant(engine.now(), "net", "xfer.failed", Lane::Node(from as u8));
+            telemetry::async_end(engine.now(), "net.xfer", id.0 as u64, Lane::Node(from as u8));
             out.push(NetEvent::Failed { id, retries });
             return;
         }
@@ -680,11 +732,11 @@ impl NetSim {
 
     fn send_rts(&mut self, engine: &mut Engine, id: TransferId) {
         let tid = id.0 as usize;
-        let (resend, rto) = {
+        let (resend, rto, from) = {
             let t = self.transfers[tid].as_mut().expect("live transfer");
             let resend = t.rts_sent;
             t.rts_sent = true;
-            (resend, t.rto)
+            (resend, t.rto, t.from)
         };
         if resend {
             self.retry_stats[tid].retrans_bytes += CTRL_MSG_BYTES;
@@ -698,9 +750,11 @@ impl NetSim {
         // Fault injection: the RTS may be lost on the wire.
         if let Some(rng) = &mut self.drop_rts_rng {
             if rng.next_f64() < self.faults.drop_rts {
+                telemetry::instant(engine.now(), "net", "rts.drop", Lane::Node(from as u8));
                 return;
             }
         }
+        telemetry::instant(engine.now(), "net", "rts", Lane::Node(from as u8));
         // RTS crosses the wire.
         let lat = SimTime::from_secs_f64(self.cfg.wire_latency_s * self.lat_mult);
         engine.after(lat, self.step_tag(id, Step::RtsArrived));

@@ -12,6 +12,7 @@ use std::collections::BinaryHeap;
 use std::fmt;
 
 use crate::fluid::{FlowId, FlowReport, FlowSpec, FluidNet, ResourceId};
+use crate::telemetry::{self, Lane};
 use crate::time::SimTime;
 
 /// Identifies a scheduled timer. Ids are never reused.
@@ -264,6 +265,7 @@ impl Engine {
     fn refresh(&mut self) {
         if self.net.is_dirty() {
             self.net.reallocate();
+            telemetry::counter_add("fluid.reallocs", 1);
         }
     }
 
@@ -318,6 +320,7 @@ impl Engine {
     pub fn try_next(&mut self) -> Result<Option<Event>, EngineError> {
         loop {
             if let Some(ev) = self.pending.pop() {
+                telemetry::counter_add("engine.events", 1);
                 return Ok(Some(ev));
             }
             self.refresh();
@@ -346,13 +349,17 @@ impl Engine {
                 // Only "endless" flows remain (background polling traffic
                 // whose completion horizon saturates SimTime): the
                 // simulation is effectively dry.
-                (None, Some(f)) if f == SimTime::MAX => return Ok(None),
+                (None, Some(f)) if f == SimTime::MAX => {
+                    telemetry::instant(self.now, "engine", "quiesce", Lane::Engine);
+                    return Ok(None);
+                }
                 (None, None) => {
                     // Dry: if flows exist but are all stalled (rate 0), this
                     // is a deadlock in the model — surface it loudly.
                     if self.net.active_flows() > 0 {
                         return Err(EngineError::Stalled(self.stall_diagnostic()));
                     }
+                    telemetry::instant(self.now, "engine", "quiesce", Lane::Engine);
                     return Ok(None);
                 }
                 (Some(t), None) => t,
@@ -466,6 +473,18 @@ impl Engine {
 impl Default for Engine {
     fn default() -> Self {
         Engine::new()
+    }
+}
+
+impl Drop for Engine {
+    /// When a recorder is installed, dropping an engine that advanced past
+    /// t=0 records the whole run as one "engine.run" span — every simulation
+    /// (protocol step, pingpong rep…) shows up on the engine lane without any
+    /// driver cooperation.
+    fn drop(&mut self) {
+        if self.now > SimTime::ZERO {
+            telemetry::complete(SimTime::ZERO, self.now, "engine", "run", Lane::Engine);
+        }
     }
 }
 

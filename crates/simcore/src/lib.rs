@@ -22,6 +22,7 @@ pub mod fluid;
 pub mod rng;
 pub mod stats;
 pub mod tags;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -31,5 +32,6 @@ pub use fluid::{FlowId, FlowReport, FlowSpec, FluidNet, ResourceId};
 pub use rng::{JitterFamily, Pcg32, SplitMix64};
 pub use stats::{quantile, Series, SeriesPoint, Summary};
 pub use tags::{kind_index, namespace, payload, split_kind_index, tag};
+pub use telemetry::{Journal, Lane};
 pub use time::SimTime;
 pub use trace::Trace;

@@ -65,11 +65,11 @@ impl Trace {
 
     /// Resample on a regular grid from `start` to `end` (inclusive) with the
     /// given step, yielding `(t, value)` pairs. Times before the first record
-    /// yield the first recorded value (or are skipped if the trace is empty).
+    /// yield the first recorded value. Degenerate inputs — an empty trace, a
+    /// zero step, or `end < start` — yield an empty grid instead of panicking.
     pub fn resample(&self, start: SimTime, end: SimTime, step: SimTime) -> Vec<(SimTime, f64)> {
-        assert!(!step.is_zero(), "zero resample step");
         let mut out = Vec::new();
-        if self.steps.is_empty() {
+        if self.steps.is_empty() || step.is_zero() || end < start {
             return out;
         }
         let first = self.steps[0].1;
@@ -197,5 +197,21 @@ mod tests {
         let mut tr = Trace::new("y");
         tr.record(us(0), 1.0);
         assert_eq!(tr.mean_over(us(5), us(5)), None);
+        assert_eq!(tr.mean_over(us(10), us(5)), None, "inverted window");
+    }
+
+    #[test]
+    fn resample_degenerate_inputs_are_empty() {
+        // Empty trace: nothing to sample from.
+        let tr = Trace::new("x");
+        assert!(tr.resample(us(0), us(10), us(1)).is_empty());
+        let mut tr = Trace::new("y");
+        tr.record(us(0), 1.0);
+        // Zero step would loop forever; yield nothing instead.
+        assert!(tr.resample(us(0), us(10), us(0)).is_empty());
+        // Inverted window ("negative" span — SimTime is unsigned).
+        assert!(tr.resample(us(10), us(0), us(1)).is_empty());
+        // start == end is still a valid one-point grid.
+        assert_eq!(tr.resample(us(5), us(5), us(1)), vec![(us(5), 1.0)]);
     }
 }

@@ -34,6 +34,7 @@ use freq::Activity;
 use memsim::exec::{JobId, JobSpec, JobStats, Phase};
 use memsim::Requester;
 use mpisim::{Cluster, ClusterEvent};
+use simcore::telemetry::{self, Lane};
 use simcore::{kind_index, split_kind_index, tags, FlowId, FlowSpec, SimTime};
 use topology::{CoreId, MachineSpec, NumaId};
 
@@ -345,6 +346,7 @@ impl Runtime {
             let lock = self.lock_delay(cluster, node);
             let dispatch = SimTime::from_secs_f64(self.cfg.dispatch_cycles / f);
             let delay = half_poll + lock + dispatch;
+            telemetry::counter_add("rt.dispatches", 1);
             self.nodes[node].dispatching += 1;
             cluster.engine.after(
                 delay,
@@ -367,6 +369,14 @@ impl Runtime {
                 let (_, task) = self.nodes[node].job_map.swap_remove(pos);
                 // Free the worker and restart its polling.
                 let core = stats.core;
+                telemetry::end(
+                    cluster.engine.now(),
+                    "task",
+                    Lane::Core {
+                        node: node as u8,
+                        core: core.0 as u16,
+                    },
+                );
                 let mut workers = std::mem::take(&mut self.nodes[node].workers);
                 for w in &mut workers {
                     if w.core == core {
@@ -434,6 +444,17 @@ impl Runtime {
         }
         self.nodes[node].workers[wi].busy = Some(task);
         self.nodes[node].tasks[task.0 as usize].state = TaskState::Running;
+        if telemetry::is_active() {
+            telemetry::begin(
+                cluster.engine.now(),
+                "task",
+                &format!("task{}", task.0),
+                Lane::Core {
+                    node: node as u8,
+                    core: core.0 as u16,
+                },
+            );
+        }
         let phases = self.nodes[node].tasks[task.0 as usize].phases.clone();
         let job = cluster.start_job(
             node,

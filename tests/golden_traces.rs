@@ -1,0 +1,208 @@
+//! Golden-trace regression tests: the telemetry journal of a fixed
+//! configuration is a pure function of that configuration, so its canonical
+//! text form can be diffed byte-for-byte against committed fixtures. Any
+//! change to event ordering, protocol phase structure, timer scheduling or
+//! fluid-rate arithmetic shows up here as a readable diff.
+//!
+//! Regenerate fixtures after an *intentional* model change with
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test --test golden_traces
+//! ```
+//!
+//! and review the diff like any other code change.
+
+mod support;
+
+use freq::{Governor, UncorePolicy};
+use interference::campaign::{run_points_with, run_set_with_report, CampaignOptions};
+use interference::experiments::{self, Fidelity};
+use mpisim::pingpong::{self, PingPongConfig};
+use mpisim::Cluster;
+use simcore::telemetry::{self, RecordKind};
+use simcore::{FaultPlan, SimTime};
+use topology::{henri, BindingPolicy, Placement};
+
+fn cluster() -> Cluster {
+    Cluster::new(
+        &henri(),
+        Governor::Userspace(2.3),
+        UncorePolicy::Fixed(2.4),
+        Placement {
+            comm_thread: BindingPolicy::NearNic,
+            data: BindingPolicy::NearNic,
+        },
+    )
+}
+
+/// Diff `text` against `tests/golden/<name>.txt`, or rewrite the fixture
+/// when `GOLDEN_BLESS=1` is set.
+fn assert_golden(name: &str, text: &str) {
+    let path = format!("{}/tests/golden/{}.txt", env!("CARGO_MANIFEST_DIR"), name);
+    if std::env::var_os("GOLDEN_BLESS").is_some_and(|v| v == "1") {
+        std::fs::write(&path, text).expect("bless golden fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({}); run GOLDEN_BLESS=1 cargo test --test golden_traces",
+            path, e
+        )
+    });
+    if text != expected {
+        let diff_at = text
+            .lines()
+            .zip(expected.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| text.lines().count().min(expected.lines().count()));
+        panic!(
+            "journal diverged from {} at line {} (got {} lines, fixture has {}).\n\
+             got:      {:?}\nexpected: {:?}\n\
+             If the model change is intentional, re-bless with GOLDEN_BLESS=1.",
+            path,
+            diff_at + 1,
+            text.lines().count(),
+            expected.lines().count(),
+            text.lines().nth(diff_at).unwrap_or("<eof>"),
+            expected.lines().nth(diff_at).unwrap_or("<eof>"),
+        );
+    }
+}
+
+/// Canonical eager ping-pong (4 B payload, PIO path): golden journal.
+#[test]
+fn eager_pingpong_journal_matches_golden() {
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            telemetry::install();
+            let mut c = cluster();
+            let res = pingpong::run(&mut c, PingPongConfig::latency(3));
+            assert_eq!(res.half_rtts.len(), 3);
+            drop(c); // flush the engine.run span
+            let j = telemetry::take().expect("recorder installed");
+            assert!(j.counters["engine.events"] > 0);
+            assert_eq!(j.counters.get("net.retrans"), None, "healthy run");
+            assert_golden("eager_pingpong", &j.to_text());
+        })
+        .join()
+        .expect("test thread");
+    });
+}
+
+/// Rendezvous ping-pong (4 MiB payload) on a lossy fabric: CTS drops force
+/// the retransmission path into the journal.
+#[test]
+fn rendezvous_cts_drop_journal_matches_golden() {
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            telemetry::install();
+            let mut c = cluster();
+            c.apply_faults(&FaultPlan::new(7).with_cts_drop(0.5))
+                .expect("valid plan");
+            c.set_time_budget(Some(SimTime::SEC * 5));
+            let res = pingpong::try_run(
+                &mut c,
+                PingPongConfig {
+                    size: 4 << 20,
+                    reps: 2,
+                    warmup: 1,
+                    mtag: 0xFA,
+                },
+            )
+            .expect("bounded drop probability completes");
+            assert_eq!(res.half_rtts.len(), 2);
+            drop(c);
+            let j = telemetry::take().expect("recorder installed");
+            assert!(
+                j.counters["net.retrans"] > 0,
+                "seed 7 at p=0.5 must drop at least one CTS"
+            );
+            let drops = j
+                .records
+                .iter()
+                .filter(|r| matches!(&r.kind, RecordKind::Instant { name, .. } if name == "cts.drop"))
+                .count();
+            assert!(drops > 0, "drop instants must be recorded");
+            assert_golden("rendezvous_cts_drop", &j.to_text());
+        })
+        .join()
+        .expect("test thread");
+    });
+}
+
+/// One Quick fig4 contention point, including the baselines it computes:
+/// golden journal of the full campaign merge for a single-point slice.
+#[test]
+fn fig4_quick_campaign_journal_matches_golden() {
+    let fig4 = experiments::find("fig4").expect("registered");
+    let opts = CampaignOptions::serial(Fidelity::Quick).with_telemetry(true);
+    let (runs, report) = run_set_with_report(&[fig4], &opts);
+    assert_eq!(runs.len(), 1);
+    assert_eq!(runs[0].failed_points, 0);
+    let j = report.journal.expect("telemetry enabled");
+    // The merged journal must carry spans from the campaign, engine, netsim
+    // and mpisim layers (the ISSUE's four-layer floor).
+    let cats = j.categories();
+    for needed in ["campaign", "engine", "net.xfer", "mpi.send"] {
+        assert!(cats.contains(&needed), "missing {} in {:?}", needed, cats);
+    }
+    assert_golden("fig4_quick_campaign", &j.to_text());
+}
+
+/// The ISSUE's headline oracle: the merged campaign journal is
+/// byte-identical between `--jobs 1` and `--jobs 4`, even though which
+/// worker computes each shared baseline is a scheduling race.
+#[test]
+fn fig4_journal_byte_identical_across_jobs() {
+    let fig4 = experiments::find("fig4").expect("registered");
+    let text = |jobs: usize| {
+        let opts = CampaignOptions::new(Fidelity::Quick, jobs).with_telemetry(true);
+        let (_, report) = run_set_with_report(&[fig4], &opts);
+        report.journal.expect("telemetry enabled").to_text()
+    };
+    let serial = text(1);
+    let parallel = text(4);
+    assert!(
+        serial == parallel,
+        "jobs=4 journal diverged from jobs=1 ({} vs {} bytes)",
+        parallel.len(),
+        serial.len()
+    );
+}
+
+/// Per-point journals surface through `run_points_with`, and the Chrome
+/// export of a real campaign journal parses as valid JSON with the
+/// trace-event envelope.
+#[test]
+fn chrome_export_of_campaign_journal_is_valid() {
+    let fig4 = experiments::find("fig4").expect("registered");
+    let opts = CampaignOptions::serial(Fidelity::Quick).with_telemetry(true);
+    let outcomes = run_points_with(fig4, &opts);
+    assert!(outcomes.iter().all(|o| o.journal.is_some()));
+
+    let (_, report) = run_set_with_report(&[fig4], &opts);
+    let json = report.journal.expect("telemetry enabled").to_chrome_json();
+    let doc = support::parse(&json);
+    let events = doc.get("traceEvents").as_arr();
+    assert!(events.len() > 100, "expected a rich trace, got {}", events.len());
+    let mut phases: Vec<&str> = events
+        .iter()
+        .map(|e| e.get("ph").as_str())
+        .collect();
+    phases.sort_unstable();
+    phases.dedup();
+    // fig4 drives mpisim directly (no taskrt workers), so sync B/E task
+    // spans are absent; async spans, completes, instants, counters and
+    // metadata must all be present.
+    for needed in ["M", "X", "b", "e", "i", "C"] {
+        assert!(phases.contains(&needed), "missing ph {:?} in {:?}", needed, phases);
+    }
+    // Every event names a process and sits at a non-negative timestamp.
+    for e in events {
+        let obj = e.as_obj();
+        assert!(obj.contains_key("pid") || obj["ph"] == support::Json::Str("C".into()));
+        if let Some(support::Json::Num(ts)) = obj.get("ts") {
+            assert!(*ts >= 0.0);
+        }
+    }
+}
