@@ -1,0 +1,180 @@
+//! Micro-benchmarks of the incremental max-min allocator against the
+//! retained from-scratch reference solver (`fluid::reference`).
+//!
+//! Three workload shapes bracket the design space:
+//!
+//! * **dense** — one fully connected component (every flow shares resources
+//!   with every other). Dirtying anything forces a whole-component re-solve,
+//!   so the incremental solver's only edge is the inverse index replacing
+//!   the old per-round `path.contains` scans.
+//! * **sparse** — many small independent components, one dirtied. The
+//!   component tracker should re-solve exactly one island while the
+//!   reference solver re-solves all of them; this is where the largest
+//!   speedups live.
+//! * **churn** — the fig9 pattern: flows cancelled and restarted in a
+//!   rotating component, re-solving after every mutation. The PR's
+//!   acceptance bar is >=5x over from-scratch here.
+//!
+//! Run with: `cargo bench -p bench --features bench-harness --bench fluid`
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use simcore::fluid::reference;
+use simcore::{FlowId, FlowSpec, FluidNet, ResourceId};
+
+/// One component of `flows` flows over `res` shared resources.
+fn dense_net(res: usize, flows: usize) -> (FluidNet, Vec<ResourceId>) {
+    let mut net = FluidNet::new();
+    let rids: Vec<_> = (0..res)
+        .map(|i| net.add_resource(format!("r{}", i), 45e9))
+        .collect();
+    for i in 0..flows {
+        net.start_flow(FlowSpec {
+            path: vec![rids[i % res], rids[(i * 5 + 1) % res]],
+            volume: 1e15,
+            weight: 1.0 + (i % 4) as f64,
+            cap: if i % 3 == 0 { Some(12e9) } else { None },
+            tag: i as u64,
+        });
+    }
+    net.reallocate();
+    (net, rids)
+}
+
+/// `comps` disjoint islands, each `per_comp` flows over its own resource
+/// pair — the shape a multi-node campaign run presents to the allocator.
+fn sparse_net(comps: usize, per_comp: usize) -> (FluidNet, Vec<ResourceId>, Vec<FlowId>) {
+    let mut net = FluidNet::new();
+    let mut rids = Vec::new();
+    let mut flows = Vec::new();
+    for c in 0..comps {
+        let a = net.add_resource(format!("c{}a", c), 45e9);
+        let b = net.add_resource(format!("c{}b", c), 21e9);
+        rids.push(a);
+        for i in 0..per_comp {
+            flows.push(net.start_flow(FlowSpec {
+                path: if i % 2 == 0 { vec![a, b] } else { vec![b] },
+                volume: 1e15,
+                weight: 1.0,
+                cap: None,
+                tag: (c * per_comp + i) as u64,
+            }));
+        }
+    }
+    net.reallocate();
+    (net, rids, flows)
+}
+
+fn bench_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fluid_dense");
+    for &flows in &[128usize, 512] {
+        group.bench_function(format!("incremental_{}_flows", flows), |b| {
+            b.iter_batched(
+                || {
+                    let (mut net, rids) = dense_net(12, flows);
+                    net.set_capacity(rids[0], 46e9); // dirty the component
+                    net
+                },
+                |mut net| {
+                    net.reallocate();
+                    net
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("reference_{}_flows", flows), |b| {
+            b.iter_batched(
+                || dense_net(12, flows).0,
+                |mut net| {
+                    reference::reallocate(&mut net);
+                    net
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fluid_sparse_64comp");
+    group.bench_function("incremental_one_dirty", |b| {
+        b.iter_batched(
+            || {
+                let (mut net, rids, _) = sparse_net(64, 6);
+                net.set_capacity(rids[17], 46e9); // dirty exactly one island
+                net
+            },
+            |mut net| {
+                net.reallocate();
+                net
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("reference_full", |b| {
+        b.iter_batched(
+            || sparse_net(64, 6).0,
+            |mut net| {
+                reference::reallocate(&mut net);
+                net
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// Cancel + restart one flow per step, re-solving every step (what the
+/// engine does when rendezvous transfers come and go mid-campaign).
+fn churn(
+    net: &mut FluidNet,
+    rids: &[ResourceId],
+    flows: &mut [FlowId],
+    steps: usize,
+    from_scratch: bool,
+) {
+    for s in 0..steps {
+        let slot = s % flows.len();
+        net.cancel_flow(flows[slot]).expect("victim is live");
+        flows[slot] = net.start_flow(FlowSpec {
+            path: vec![rids[s % rids.len()]],
+            volume: 1e15,
+            weight: 1.0,
+            cap: None,
+            tag: 1_000_000 + s as u64,
+        });
+        if from_scratch {
+            reference::reallocate(net);
+        } else {
+            net.reallocate();
+        }
+    }
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fluid_churn_64comp_256steps");
+    group.bench_function("incremental", |b| {
+        b.iter_batched(
+            || sparse_net(64, 6),
+            |(mut net, rids, mut flows)| {
+                churn(&mut net, &rids, &mut flows, 256, false);
+                net
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("from_scratch", |b| {
+        b.iter_batched(
+            || sparse_net(64, 6),
+            |(mut net, rids, mut flows)| {
+                churn(&mut net, &rids, &mut flows, 256, true);
+                net
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(fluid, bench_dense, bench_sparse, bench_churn);
+criterion_main!(fluid);

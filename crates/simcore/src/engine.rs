@@ -8,7 +8,7 @@
 //! bits identify the owner) so a single driver loop can dispatch them.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
 
 use crate::fluid::{FlowId, FlowReport, FlowSpec, FluidNet, ResourceId};
@@ -138,7 +138,11 @@ pub struct Engine {
     now: SimTime,
     net: FluidNet,
     timers: BinaryHeap<Reverse<TimerEntry>>,
-    cancelled: Vec<TimerId>,
+    /// Tombstones for cancelled-but-not-yet-popped timers. Cancellation is
+    /// O(1): the entry stays in the heap and is discarded when it reaches
+    /// the top, at which point its tombstone is consumed. Every cancel site
+    /// targets a still-pending timer, so the set cannot leak.
+    cancelled: HashSet<TimerId>,
     next_timer: u64,
     seq: u64,
     /// Completed flows not yet handed out (a single `elapse` can finish
@@ -155,7 +159,7 @@ impl Engine {
             now: SimTime::ZERO,
             net: FluidNet::new(),
             timers: BinaryHeap::new(),
-            cancelled: Vec::new(),
+            cancelled: HashSet::new(),
             next_timer: 0,
             seq: 0,
             pending: Vec::new(),
@@ -259,13 +263,20 @@ impl Engine {
 
     /// Cancel a timer. Harmless if already fired.
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.cancelled.push(id);
+        self.cancelled.insert(id);
     }
 
+    /// Re-solve the allocation if any flow/capacity mutation is pending.
+    /// All same-instant mutations batch into this single reallocation, and
+    /// the incremental solver only revisits the dirty components.
     fn refresh(&mut self) {
         if self.net.is_dirty() {
-            self.net.reallocate();
+            let stats = self.net.reallocate();
             telemetry::counter_add("fluid.reallocs", 1);
+            if stats.components > 0 {
+                telemetry::counter_add("fluid.components", stats.components);
+                telemetry::counter_add("fluid.realloc_flows_visited", stats.flows_visited);
+            }
         }
     }
 
@@ -325,12 +336,13 @@ impl Engine {
             }
             self.refresh();
 
-            // Earliest timer, skipping cancelled ones.
+            // Earliest timer, lazily discarding cancelled entries as they
+            // surface at the heap top (their tombstones are consumed here).
             let timer_deadline = loop {
                 match self.timers.peek() {
                     Some(Reverse(e)) if self.cancelled.contains(&e.id) => {
                         let e = self.timers.pop().expect("peeked").0;
-                        self.cancelled.retain(|&c| c != e.id);
+                        self.cancelled.remove(&e.id);
                     }
                     Some(Reverse(e)) => break Some(e.deadline),
                     None => break None,
@@ -395,8 +407,7 @@ impl Engine {
                     break;
                 }
                 let e = self.timers.pop().expect("peeked").0;
-                if let Some(pos) = self.cancelled.iter().position(|&c| c == e.id) {
-                    self.cancelled.swap_remove(pos);
+                if self.cancelled.remove(&e.id) {
                     continue;
                 }
                 fired.push(Event::Timer { tag: e.tag });

@@ -17,7 +17,35 @@
 //! flow-level network simulators and by Langguth et al.'s memory-contention
 //! model cited in the paper) and reproduces the saturation and fair-share
 //! curves measured by the paper's STREAM/ping-pong experiments.
+//!
+//! # Incremental re-solving
+//!
+//! Max-min allocation decomposes over the connected components of the
+//! flow↔resource bipartite graph: a flow's rate depends only on flows it
+//! (transitively) shares a resource with. The net therefore keeps
+//!
+//! * a slab of flows addressed by [`FlowId`] (O(1) lookup/cancel),
+//! * a persistent inverse index (`members[r]` = flows crossing `r`, in id
+//!   order), and
+//! * per-resource dirty bits set by every mutation (flow started, cancelled
+//!   or completed, cap changed, capacity changed).
+//!
+//! [`FluidNet::reallocate`] walks each dirty component once (BFS over the
+//! inverse index) and re-solves *only those components*; clean components
+//! keep their cached rates. A ping-pong on the NIC no longer re-solves the
+//! memory-controller component of an idle node, and vice versa.
+//!
+//! The per-component solve ([`solve_region`]) is the single canonical
+//! implementation of progressive filling: the from-scratch
+//! [`reference::reallocate`] rebuilds the adjacency and the component
+//! decomposition independently and calls the *same* routine, so fast and
+//! reference results are bit-identical by construction (verified over
+//! randomized mutation sequences by the `prop_fluid_equiv` suite). Exact
+//! f64 equality matters: completion times derive from rates, so even a
+//! 1-ulp drift would eventually flip picosecond event ordering and break
+//! golden-trace and `--json` byte-stability.
 
+use std::collections::HashMap;
 use std::fmt;
 
 /// Identifies a resource inside a [`FluidNet`].
@@ -80,11 +108,47 @@ pub(crate) struct Flow {
     pub elapsed: f64,
 }
 
+/// Work done by one [`FluidNet::reallocate`] call: how many dirty connected
+/// components were re-solved and how many flows they contained. Feeds the
+/// `fluid.components` / `fluid.realloc_flows_visited` telemetry counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReallocStats {
+    /// Connected components re-solved.
+    pub components: u64,
+    /// Total flows across the re-solved components.
+    pub flows_visited: u64,
+}
+
+/// When set, [`FluidNet::reallocate`] delegates to [`reference::reallocate`]
+/// (the from-scratch solver) for every call. Used by the whole-campaign
+/// replay test to prove the incremental solver does not change a single
+/// output byte.
+#[cfg(any(test, feature = "reference-solver"))]
+pub static FORCE_REFERENCE: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
 /// The set of resources and active flows, with max-min allocation.
 #[derive(Default)]
 pub struct FluidNet {
     resources: Vec<Resource>,
-    flows: Vec<Flow>,
+    /// Flow slab; freed slots are reused via `free`. Slot numbers are
+    /// meaningless outside this struct — flows are addressed by [`FlowId`].
+    slots: Vec<Option<Flow>>,
+    free: Vec<u32>,
+    /// FlowId.0 → slot.
+    index: HashMap<u64, u32>,
+    /// Live slots in ascending [`FlowId`] order (deterministic iteration).
+    order: Vec<u32>,
+    /// Inverse index: `members[r]` = slots of flows whose path crosses `r`,
+    /// each listed once, in ascending [`FlowId`] order.
+    members: Vec<Vec<u32>>,
+    /// Per-resource dirty bit + list of dirty resources (realloc seeds).
+    res_dirty: Vec<bool>,
+    dirty_list: Vec<u32>,
+    /// Epoch-stamped visit marks for the component BFS (no per-call zeroing).
+    res_mark: Vec<u64>,
+    slot_mark: Vec<u64>,
+    epoch: u64,
     next_flow: u64,
     dirty: bool,
 }
@@ -100,6 +164,16 @@ pub struct FlowReport {
     pub stalled: f64,
     /// Units left (0 for completed flows).
     pub remaining: f64,
+}
+
+/// Set `r`'s dirty bit and queue it as a realloc seed (free function so it
+/// can run under field-level borrows of the flow slab).
+fn mark_res(res_dirty: &mut [bool], dirty_list: &mut Vec<u32>, r: ResourceId) {
+    let ri = r.index();
+    if !res_dirty[ri] {
+        res_dirty[ri] = true;
+        dirty_list.push(r.0);
+    }
 }
 
 impl FluidNet {
@@ -119,6 +193,9 @@ impl FluidNet {
             busy_integral: 0.0,
             allocated: 0.0,
         });
+        self.members.push(Vec::new());
+        self.res_dirty.push(false);
+        self.res_mark.push(0);
         id
     }
 
@@ -138,6 +215,7 @@ impl FluidNet {
         let res = &mut self.resources[r.index()];
         if res.capacity != capacity {
             res.capacity = capacity;
+            mark_res(&mut self.res_dirty, &mut self.dirty_list, r);
             self.dirty = true;
         }
     }
@@ -167,10 +245,10 @@ impl FluidNet {
     /// latency model, where queueing grows with offered load, not with
     /// (saturated) throughput.
     pub fn demand(&self, r: ResourceId) -> f64 {
-        self.flows
+        let cap_r = self.resources[r.index()].capacity;
+        self.members[r.index()]
             .iter()
-            .filter(|f| f.path.contains(&r))
-            .map(|f| f.cap.unwrap_or(self.resources[r.index()].capacity))
+            .map(|&s| self.slots[s as usize].as_ref().expect("live member").cap.unwrap_or(cap_r))
             .sum()
     }
 
@@ -197,7 +275,24 @@ impl FluidNet {
         }
         let id = FlowId(self.next_flow);
         self.next_flow += 1;
-        self.flows.push(Flow {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(None);
+                self.slot_mark.push(0);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        for &r in &spec.path {
+            mark_res(&mut self.res_dirty, &mut self.dirty_list, r);
+            let m = &mut self.members[r.index()];
+            // A path may cross a resource twice; index it once. The flow
+            // being added always sits at the tail (ids are monotone).
+            if m.last() != Some(&slot) {
+                m.push(slot);
+            }
+        }
+        self.slots[slot as usize] = Some(Flow {
             id,
             path: spec.path,
             remaining: spec.volume,
@@ -208,25 +303,62 @@ impl FluidNet {
             stalled: 0.0,
             elapsed: 0.0,
         });
+        self.order.push(slot);
+        self.index.insert(id.0, slot);
         self.dirty = true;
         id
     }
 
     /// Change a flow's rate cap (frequency changed mid-phase).
     pub fn set_flow_cap(&mut self, id: FlowId, cap: Option<f64>) {
-        if let Some(f) = self.flows.iter_mut().find(|f| f.id == id) {
-            if f.cap != cap {
-                f.cap = cap;
-                self.dirty = true;
+        let Some(&slot) = self.index.get(&id.0) else {
+            return;
+        };
+        let f = self.slots[slot as usize].as_mut().expect("indexed slot live");
+        if f.cap != cap {
+            f.cap = cap;
+            for &r in &f.path {
+                mark_res(&mut self.res_dirty, &mut self.dirty_list, r);
+            }
+            self.dirty = true;
+        }
+    }
+
+    /// Unlink `slot` from the index, inverse index and iteration order,
+    /// marking its path dirty. The slot must be live.
+    fn detach_slot(&mut self, slot: u32) -> Flow {
+        let si = slot as usize;
+        let path = std::mem::take(&mut self.slots[si].as_mut().expect("live slot").path);
+        let id = self.slots[si].as_ref().expect("live slot").id.0;
+        for &r in &path {
+            mark_res(&mut self.res_dirty, &mut self.dirty_list, r);
+            let slots = &self.slots;
+            let m = &mut self.members[r.index()];
+            // Duplicate path entries: only the first occurrence still finds it.
+            if let Ok(p) =
+                m.binary_search_by_key(&id, |&s| slots[s as usize].as_ref().expect("member").id.0)
+            {
+                m.remove(p);
             }
         }
+        let slots = &self.slots;
+        let p = self
+            .order
+            .binary_search_by_key(&id, |&s| slots[s as usize].as_ref().expect("ordered").id.0)
+            .expect("live flow in order");
+        self.order.remove(p);
+        let mut f = self.slots[si].take().expect("live slot");
+        f.path = path;
+        self.index.remove(&id);
+        self.free.push(slot);
+        self.dirty = true;
+        f
     }
 
     /// Remove a flow before completion; returns its report if it existed.
     pub fn cancel_flow(&mut self, id: FlowId) -> Option<FlowReport> {
-        let idx = self.flows.iter().position(|f| f.id == id)?;
-        let f = self.flows.swap_remove(idx);
-        self.dirty = true;
+        let slot = *self.index.get(&id.0)?;
+        let f = self.detach_slot(slot);
         Some(FlowReport {
             tag: f.tag,
             elapsed: f.elapsed,
@@ -237,12 +369,13 @@ impl FluidNet {
 
     /// Rate of a flow under the current allocation.
     pub fn flow_rate(&self, id: FlowId) -> Option<f64> {
-        self.flows.iter().find(|f| f.id == id).map(|f| f.rate)
+        let slot = *self.index.get(&id.0)?;
+        Some(self.slots[slot as usize].as_ref().expect("indexed slot live").rate)
     }
 
     /// Number of active flows.
     pub fn active_flows(&self) -> usize {
-        self.flows.len()
+        self.order.len()
     }
 
     /// True if the allocation must be recomputed before use.
@@ -251,125 +384,67 @@ impl FluidNet {
     }
 
     /// Recompute the weighted max-min fair allocation (progressive filling).
-    pub fn reallocate(&mut self) {
+    ///
+    /// Incremental: only connected components containing a dirty resource
+    /// are re-solved; everything else keeps its cached rates. The result is
+    /// bit-identical to the from-scratch [`reference::reallocate`].
+    pub fn reallocate(&mut self) -> ReallocStats {
+        #[cfg(any(test, feature = "reference-solver"))]
+        if FORCE_REFERENCE.load(std::sync::atomic::Ordering::Relaxed) {
+            return reference::reallocate(self);
+        }
         self.dirty = false;
-        let nf = self.flows.len();
-        for r in &mut self.resources {
-            r.allocated = 0.0;
+        let mut stats = ReallocStats::default();
+        if self.dirty_list.is_empty() {
+            return stats;
         }
-        if nf == 0 {
-            return;
-        }
-
-        // frozen[i]: flow i's rate is final.
-        let mut frozen = vec![false; nf];
-        let mut rate = vec![0.0f64; nf];
-        // Remaining headroom per resource.
-        let mut headroom: Vec<f64> = self.resources.iter().map(|r| r.capacity).collect();
-        let mut unfrozen = nf;
-        // Fill level reached so far (units/s per unit weight).
-        let mut level = 0.0f64;
-
-        while unfrozen > 0 {
-            // For each resource, the level increment at which it saturates.
-            let mut best_dlevel = f64::INFINITY;
-            let mut bottleneck: Option<ResourceId> = None;
-            for (ri, res) in self.resources.iter().enumerate() {
-                let w: f64 = self
-                    .flows
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, f)| !frozen[*i] && f.path.contains(&ResourceId(ri as u32)))
-                    .map(|(_, f)| f.weight)
-                    .sum();
-                if w <= 0.0 {
-                    continue;
-                }
-                let dlevel = (headroom[ri].max(0.0)) / w;
-                if dlevel < best_dlevel {
-                    best_dlevel = dlevel;
-                    bottleneck = Some(ResourceId(ri as u32));
-                }
-                let _ = res;
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let seeds = std::mem::take(&mut self.dirty_list);
+        let mut comp_res: Vec<u32> = Vec::new();
+        let mut comp_slots: Vec<u32> = Vec::new();
+        let mut queue: Vec<u32> = Vec::new();
+        for &seed in &seeds {
+            self.res_dirty[seed as usize] = false;
+            if self.res_mark[seed as usize] == epoch {
+                continue; // already solved as part of an earlier seed's component
             }
-            // Flow caps: flow i freezes when level reaches cap/weight.
-            let mut cap_dlevel = f64::INFINITY;
-            let mut cap_flow: Option<usize> = None;
-            for (i, f) in self.flows.iter().enumerate() {
-                if frozen[i] {
-                    continue;
-                }
-                if let Some(c) = f.cap {
-                    let dl = (c / f.weight - level).max(0.0);
-                    if dl < cap_dlevel {
-                        cap_dlevel = dl;
-                        cap_flow = Some(i);
+            comp_res.clear();
+            comp_slots.clear();
+            queue.clear();
+            self.res_mark[seed as usize] = epoch;
+            queue.push(seed);
+            while let Some(r) = queue.pop() {
+                comp_res.push(r);
+                for &s in &self.members[r as usize] {
+                    if self.slot_mark[s as usize] == epoch {
+                        continue;
+                    }
+                    self.slot_mark[s as usize] = epoch;
+                    comp_slots.push(s);
+                    for &pr in &self.slots[s as usize].as_ref().expect("member").path {
+                        if self.res_mark[pr.index()] != epoch {
+                            self.res_mark[pr.index()] = epoch;
+                            queue.push(pr.0);
+                        }
                     }
                 }
             }
-
-            if best_dlevel == f64::INFINITY && cap_dlevel == f64::INFINITY {
-                // No constraint at all (can't happen: every flow crosses a
-                // finite-capacity resource) — freeze everything at current level.
-                for i in 0..nf {
-                    if !frozen[i] {
-                        frozen[i] = true;
-                        rate[i] = self.flows[i].weight * level;
-                    }
-                }
-                break;
+            if comp_slots.is_empty() {
+                // Dirty resource with no flows left: just clear its allocation.
+                self.resources[seed as usize].allocated = 0.0;
+                continue;
             }
-
-            if cap_dlevel < best_dlevel {
-                // A flow reaches its cap first.
-                let dl = cap_dlevel;
-                level += dl;
-                // Consume headroom for the level increase by all unfrozen flows.
-                for (ri, h) in headroom.iter_mut().enumerate() {
-                    let w: f64 = self
-                        .flows
-                        .iter()
-                        .enumerate()
-                        .filter(|(i, f)| !frozen[*i] && f.path.contains(&ResourceId(ri as u32)))
-                        .map(|(_, f)| f.weight)
-                        .sum();
-                    *h -= w * dl;
-                }
-                let i = cap_flow.expect("cap flow set");
-                frozen[i] = true;
-                rate[i] = self.flows[i].cap.expect("capped");
-                unfrozen -= 1;
-            } else {
-                // A resource saturates.
-                let dl = best_dlevel;
-                level += dl;
-                for (ri, h) in headroom.iter_mut().enumerate() {
-                    let w: f64 = self
-                        .flows
-                        .iter()
-                        .enumerate()
-                        .filter(|(i, f)| !frozen[*i] && f.path.contains(&ResourceId(ri as u32)))
-                        .map(|(_, f)| f.weight)
-                        .sum();
-                    *h -= w * dl;
-                }
-                let rb = bottleneck.expect("bottleneck set");
-                for i in 0..nf {
-                    if !frozen[i] && self.flows[i].path.contains(&rb) {
-                        frozen[i] = true;
-                        rate[i] = self.flows[i].weight * level;
-                        unfrozen -= 1;
-                    }
-                }
-            }
+            // Canonical order (BFS discovery order is traversal-dependent).
+            comp_res.sort_unstable();
+            let slots = &self.slots;
+            comp_slots
+                .sort_unstable_by_key(|&s| slots[s as usize].as_ref().expect("member").id.0);
+            stats.components += 1;
+            stats.flows_visited += comp_slots.len() as u64;
+            solve_region(&mut self.resources, &mut self.slots, &comp_res, &comp_slots);
         }
-
-        for (i, f) in self.flows.iter_mut().enumerate() {
-            f.rate = rate[i];
-            for &r in &f.path {
-                self.resources[r.index()].allocated += rate[i];
-            }
-        }
+        stats
     }
 
     /// Advance all flows by `dt` seconds at their current rates, returning
@@ -389,10 +464,9 @@ impl FluidNet {
                 }
             }
         }
-        let mut done = Vec::new();
-        let mut i = 0;
-        while i < self.flows.len() {
-            let f = &mut self.flows[i];
+        let mut finished: Vec<u32> = Vec::new();
+        for &s in &self.order {
+            let f = self.slots[s as usize].as_mut().expect("ordered slot live");
             f.elapsed += dt;
             if let Some(c) = f.cap {
                 if f.rate < c * (1.0 - 1e-9) {
@@ -402,17 +476,18 @@ impl FluidNet {
             f.remaining -= f.rate * dt;
             // Tolerate float fuzz: treat within 1e-6 units as done.
             if f.remaining <= 1e-6 {
-                let f = self.flows.remove(i);
-                done.push(FlowReport {
-                    tag: f.tag,
-                    elapsed: f.elapsed,
-                    stalled: f.stalled,
-                    remaining: 0.0,
-                });
-                self.dirty = true;
-            } else {
-                i += 1;
+                finished.push(s);
             }
+        }
+        let mut done = Vec::with_capacity(finished.len());
+        for &s in &finished {
+            let f = self.detach_slot(s);
+            done.push(FlowReport {
+                tag: f.tag,
+                elapsed: f.elapsed,
+                stalled: f.stalled,
+                remaining: 0.0,
+            });
         }
         done
     }
@@ -420,25 +495,269 @@ impl FluidNet {
     /// Snapshot of every active flow as `(tag, remaining, rate)`, in id
     /// order. Used by the engine's stall diagnostics.
     pub fn flow_snapshots(&self) -> Vec<(u64, f64, f64)> {
-        self.flows
+        self.order
             .iter()
-            .map(|f| (f.tag, f.remaining, f.rate))
+            .map(|&s| {
+                let f = self.slots[s as usize].as_ref().expect("ordered slot live");
+                (f.tag, f.remaining, f.rate)
+            })
             .collect()
     }
 
     /// Seconds until the earliest flow completion at current rates.
     pub fn time_to_next_completion(&self) -> Option<f64> {
-        self.flows
+        self.order
             .iter()
+            .map(|&s| self.slots[s as usize].as_ref().expect("ordered slot live"))
             .filter(|f| f.rate > 0.0)
             .map(|f| f.remaining / f.rate)
             .min_by(|a, b| a.partial_cmp(b).expect("finite"))
     }
 }
 
+/// Solve one connected component by progressive filling and write back flow
+/// rates and per-resource allocations.
+///
+/// `comp_res` must be sorted ascending, `comp_slots` sorted by ascending
+/// [`FlowId`], and together they must form a closed component: every
+/// resource crossed by a listed flow is listed, and every flow crossing a
+/// listed resource is listed. This routine is the *only* implementation of
+/// the fill algorithm — the incremental and reference solvers both call it,
+/// which is what makes their results bit-identical by construction.
+fn solve_region(
+    resources: &mut [Resource],
+    slots: &mut [Option<Flow>],
+    comp_res: &[u32],
+    comp_slots: &[u32],
+) {
+    let nf = comp_slots.len();
+    let nr = comp_res.len();
+    debug_assert!(nf > 0 && nr > 0);
+
+    // Component-local copies of the per-flow parameters, plus the local
+    // adjacency in both directions. `lmembers[lr]` lists local flow indices
+    // crossing local resource `lr` (ascending id, once per flow);
+    // `fpath[i]` lists local resources flow `i` crosses (once each).
+    let mut weight = vec![0.0f64; nf];
+    let mut cap: Vec<Option<f64>> = vec![None; nf];
+    let mut lmembers: Vec<Vec<u32>> = vec![Vec::new(); nr];
+    let mut fpath: Vec<Vec<u32>> = vec![Vec::new(); nf];
+    for (i, &s) in comp_slots.iter().enumerate() {
+        let f = slots[s as usize].as_ref().expect("component slot live");
+        weight[i] = f.weight;
+        cap[i] = f.cap;
+        for &r in &f.path {
+            let lr = comp_res.binary_search(&r.0).expect("closed component") as u32;
+            let lm = &mut lmembers[lr as usize];
+            if lm.last() != Some(&(i as u32)) {
+                lm.push(i as u32);
+            } else {
+                continue; // duplicate path entry, already indexed
+            }
+            fpath[i].push(lr);
+        }
+    }
+
+    // Unfrozen weight sum per resource. Kept current across rounds by
+    // *re-summing in id order* the resources touched by each freeze — not by
+    // subtracting the frozen weight — so every round sees exactly the bits a
+    // from-scratch summation would produce (f64 addition is not associative;
+    // `(a+b+c)-a != b+c`). See DESIGN.md §10.
+    let resum = |lm: &[u32], frozen: &[bool]| -> f64 {
+        lm.iter().filter(|&&i| !frozen[i as usize]).map(|&i| weight[i as usize]).sum()
+    };
+
+    let mut frozen = vec![false; nf];
+    let mut rate = vec![0.0f64; nf];
+    let mut headroom: Vec<f64> =
+        comp_res.iter().map(|&r| resources[r as usize].capacity).collect();
+    let mut w: Vec<f64> = lmembers.iter().map(|lm| resum(lm, &frozen)).collect();
+    let mut unfrozen = nf;
+    let mut level = 0.0f64;
+    let mut newly_frozen: Vec<usize> = Vec::new();
+
+    while unfrozen > 0 {
+        // For each resource, the level increment at which it saturates.
+        let mut best_dlevel = f64::INFINITY;
+        let mut bottleneck: Option<usize> = None;
+        for lr in 0..nr {
+            if w[lr] <= 0.0 {
+                continue;
+            }
+            let dlevel = (headroom[lr].max(0.0)) / w[lr];
+            if dlevel < best_dlevel {
+                best_dlevel = dlevel;
+                bottleneck = Some(lr);
+            }
+        }
+        // Flow caps: flow i freezes when level reaches cap/weight.
+        let mut cap_dlevel = f64::INFINITY;
+        let mut cap_flow: Option<usize> = None;
+        for i in 0..nf {
+            if frozen[i] {
+                continue;
+            }
+            if let Some(c) = cap[i] {
+                let dl = (c / weight[i] - level).max(0.0);
+                if dl < cap_dlevel {
+                    cap_dlevel = dl;
+                    cap_flow = Some(i);
+                }
+            }
+        }
+
+        if best_dlevel == f64::INFINITY && cap_dlevel == f64::INFINITY {
+            // No constraint at all (can't happen: every flow crosses a
+            // finite-capacity resource) — freeze everything at current level.
+            for i in 0..nf {
+                if !frozen[i] {
+                    frozen[i] = true;
+                    rate[i] = weight[i] * level;
+                }
+            }
+            break;
+        }
+
+        if cap_dlevel < best_dlevel {
+            // A flow reaches its cap first.
+            let dl = cap_dlevel;
+            level += dl;
+            for lr in 0..nr {
+                headroom[lr] -= w[lr] * dl;
+            }
+            let i = cap_flow.expect("cap flow set");
+            frozen[i] = true;
+            rate[i] = cap[i].expect("capped");
+            unfrozen -= 1;
+            for &lr in &fpath[i] {
+                w[lr as usize] = resum(&lmembers[lr as usize], &frozen);
+            }
+        } else {
+            // A resource saturates.
+            let dl = best_dlevel;
+            level += dl;
+            for lr in 0..nr {
+                headroom[lr] -= w[lr] * dl;
+            }
+            let rb = bottleneck.expect("bottleneck set");
+            newly_frozen.clear();
+            for &li in &lmembers[rb] {
+                let i = li as usize;
+                if !frozen[i] {
+                    frozen[i] = true;
+                    rate[i] = weight[i] * level;
+                    unfrozen -= 1;
+                    newly_frozen.push(i);
+                }
+            }
+            // Refresh the weight sums of every resource a newly frozen flow
+            // crosses (re-sums are idempotent, duplicates are harmless).
+            for &i in &newly_frozen {
+                for &lr in &fpath[i] {
+                    w[lr as usize] = resum(&lmembers[lr as usize], &frozen);
+                }
+            }
+        }
+    }
+
+    // Write back: rates on the flows, per-occurrence allocation sums on the
+    // component's resources (a path crossing a resource twice counts twice).
+    for &r in comp_res {
+        resources[r as usize].allocated = 0.0;
+    }
+    for (i, &s) in comp_slots.iter().enumerate() {
+        let f = slots[s as usize].as_mut().expect("component slot live");
+        f.rate = rate[i];
+        for &r in &f.path {
+            resources[r.index()].allocated += rate[i];
+        }
+    }
+}
+
+/// From-scratch solver retained as the equivalence oracle for the
+/// incremental [`FluidNet::reallocate`].
+///
+/// It ignores all of the net's cached bookkeeping — inverse index, dirty
+/// bits, component marks — and rebuilds the flow↔resource adjacency and the
+/// component decomposition from the flow paths alone, then runs the same
+/// [`solve_region`] per component. Any bug in the incremental maintenance
+/// (a stale member list, a missed dirty bit, a component split too early)
+/// shows up as a bitwise rate mismatch in the `prop_fluid_equiv` suite.
+#[cfg(any(test, feature = "reference-solver"))]
+pub mod reference {
+    use super::*;
+
+    /// Re-solve the whole net from scratch. Clears all dirty state.
+    pub fn reallocate(net: &mut FluidNet) -> ReallocStats {
+        net.dirty = false;
+        for d in &mut net.res_dirty {
+            *d = false;
+        }
+        net.dirty_list.clear();
+        for r in &mut net.resources {
+            r.allocated = 0.0;
+        }
+        let n = net.resources.len();
+        // Live slots in ascending id order, independent of `net.order`.
+        let mut live: Vec<u32> = net.index.values().copied().collect();
+        live.sort_unstable_by_key(|&s| net.slots[s as usize].as_ref().expect("live").id.0);
+        // Adjacency rebuilt from paths alone.
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &s in &live {
+            let f = net.slots[s as usize].as_ref().expect("live");
+            for &r in &f.path {
+                let m = &mut members[r.index()];
+                if m.last() != Some(&s) {
+                    m.push(s);
+                }
+            }
+        }
+        let mut res_seen = vec![false; n];
+        let mut slot_seen = vec![false; net.slots.len()];
+        let mut stats = ReallocStats::default();
+        let mut comp_res: Vec<u32> = Vec::new();
+        let mut comp_slots: Vec<u32> = Vec::new();
+        let mut queue: Vec<u32> = Vec::new();
+        for seed in 0..n {
+            if res_seen[seed] || members[seed].is_empty() {
+                continue;
+            }
+            comp_res.clear();
+            comp_slots.clear();
+            queue.clear();
+            res_seen[seed] = true;
+            queue.push(seed as u32);
+            while let Some(r) = queue.pop() {
+                comp_res.push(r);
+                for &s in &members[r as usize] {
+                    if slot_seen[s as usize] {
+                        continue;
+                    }
+                    slot_seen[s as usize] = true;
+                    comp_slots.push(s);
+                    for &pr in &net.slots[s as usize].as_ref().expect("live").path {
+                        if !res_seen[pr.index()] {
+                            res_seen[pr.index()] = true;
+                            queue.push(pr.0);
+                        }
+                    }
+                }
+            }
+            comp_res.sort_unstable();
+            let slots = &net.slots;
+            comp_slots
+                .sort_unstable_by_key(|&s| slots[s as usize].as_ref().expect("live").id.0);
+            stats.components += 1;
+            stats.flows_visited += comp_slots.len() as u64;
+            solve_region(&mut net.resources, &mut net.slots, &comp_res, &comp_slots);
+        }
+        stats
+    }
+}
+
 impl fmt::Debug for FluidNet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "FluidNet ({} resources, {} flows)", self.resources.len(), self.flows.len())?;
+        writeln!(f, "FluidNet ({} resources, {} flows)", self.resources.len(), self.order.len())?;
         for (i, r) in self.resources.iter().enumerate() {
             writeln!(
                 f,
@@ -446,7 +765,8 @@ impl fmt::Debug for FluidNet {
                 i, r.name, r.capacity, r.allocated
             )?;
         }
-        for fl in &self.flows {
+        for &s in &self.order {
+            let fl = self.slots[s as usize].as_ref().expect("ordered slot live");
             writeln!(
                 f,
                 "  F{} tag {}: remaining {:.3e} rate {:.3e} cap {:?}",
@@ -648,5 +968,86 @@ mod tests {
         });
         net.start_flow(spec(vec![r], 10.0)); // elastic counts as capacity
         assert!((net.demand(r) - 130.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_components_are_not_revisited() {
+        let mut net = FluidNet::new();
+        let left = net.add_resource("left", 100.0);
+        let right = net.add_resource("right", 50.0);
+        let fl = net.start_flow(spec(vec![left], 1e6));
+        let _fr = net.start_flow(spec(vec![right], 1e6));
+        let stats = net.reallocate();
+        assert_eq!(stats.components, 2);
+        assert_eq!(stats.flows_visited, 2);
+        // A mutation on the right component must not re-solve the left one.
+        let fr2 = net.start_flow(spec(vec![right], 1e6));
+        let stats = net.reallocate();
+        assert_eq!(stats.components, 1);
+        assert_eq!(stats.flows_visited, 2);
+        assert_eq!(net.flow_rate(fl), Some(100.0));
+        assert!((net.flow_rate(fr2).unwrap() - 25.0).abs() < 1e-9);
+        // No pending change: reallocation is a no-op.
+        let stats = net.reallocate();
+        assert_eq!(stats, ReallocStats::default());
+    }
+
+    #[test]
+    fn slab_reuses_slots_but_never_ids() {
+        let mut net = FluidNet::new();
+        let r = net.add_resource("bus", 10.0);
+        let a = net.start_flow(spec(vec![r], 10.0));
+        let b = net.start_flow(spec(vec![r], 10.0));
+        net.reallocate();
+        net.cancel_flow(a).unwrap();
+        let c = net.start_flow(spec(vec![r], 10.0));
+        assert_ne!(a, c);
+        assert!(net.flow_rate(a).is_none());
+        net.reallocate();
+        assert!((net.flow_rate(b).unwrap() - 5.0).abs() < 1e-9);
+        assert!((net.flow_rate(c).unwrap() - 5.0).abs() < 1e-9);
+        assert_eq!(net.active_flows(), 2);
+    }
+
+    #[test]
+    fn duplicate_path_entries_count_twice_in_allocated() {
+        let mut net = FluidNet::new();
+        let bus = net.add_resource("bus", 100.0);
+        let f = net.start_flow(spec(vec![bus, bus], 10.0));
+        net.reallocate();
+        // The flow is indexed once (weight counted once) but its allocation
+        // is charged per path occurrence, as the original solver did.
+        assert_eq!(net.flow_rate(f), Some(100.0));
+        assert_eq!(net.allocated(bus), 200.0);
+        net.cancel_flow(f).unwrap();
+        net.reallocate();
+        assert_eq!(net.allocated(bus), 0.0);
+        assert_eq!(net.demand(bus), 0.0);
+    }
+
+    #[test]
+    fn fast_matches_reference_after_mutations() {
+        let mut net = FluidNet::new();
+        let a = net.add_resource("a", 100.0);
+        let b = net.add_resource("b", 60.0);
+        let c = net.add_resource("c", 30.0);
+        let f1 = net.start_flow(spec(vec![a, b], 1e6));
+        let f2 = net.start_flow(FlowSpec {
+            cap: Some(12.0),
+            ..spec(vec![b, c], 1e6)
+        });
+        let f3 = net.start_flow(spec(vec![c], 1e6));
+        net.reallocate();
+        net.set_flow_cap(f2, Some(7.0));
+        net.set_capacity(a, 80.0);
+        net.cancel_flow(f3).unwrap();
+        net.reallocate();
+        let fast: Vec<_> = [f1, f2].iter().map(|&f| net.flow_rate(f).map(f64::to_bits)).collect();
+        let fast_alloc: Vec<_> = [a, b, c].iter().map(|&r| net.allocated(r).to_bits()).collect();
+        reference::reallocate(&mut net);
+        let refr: Vec<_> = [f1, f2].iter().map(|&f| net.flow_rate(f).map(f64::to_bits)).collect();
+        let ref_alloc: Vec<_> = [a, b, c].iter().map(|&r| net.allocated(r).to_bits()).collect();
+        assert_eq!(fast, refr);
+        assert_eq!(fast_alloc, ref_alloc);
     }
 }

@@ -28,7 +28,7 @@ pub mod trace;
 
 pub use engine::{Engine, EngineError, Event, StallDiagnostic, TimerId};
 pub use faults::{FaultPlan, FaultPlanError, LinkDegradation, NicStall, StragglerCore};
-pub use fluid::{FlowId, FlowReport, FlowSpec, FluidNet, ResourceId};
+pub use fluid::{FlowId, FlowReport, FlowSpec, FluidNet, ReallocStats, ResourceId};
 pub use rng::{JitterFamily, Pcg32, SplitMix64};
 pub use stats::{quantile, Series, SeriesPoint, Summary};
 pub use tags::{kind_index, namespace, payload, split_kind_index, tag};

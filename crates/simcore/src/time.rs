@@ -236,7 +236,7 @@ mod tests {
 
     #[test]
     fn sum_iterator() {
-        let total: SimTime = (1..=4u64).map(|i| SimTime::from_nanos(i)).sum();
+        let total: SimTime = (1..=4u64).map(SimTime::from_nanos).sum();
         assert_eq!(total, SimTime::from_nanos(10));
     }
 }

@@ -28,7 +28,10 @@ fn problem() -> impl Strategy<Value = Problem> {
     })
 }
 
-fn build(p: &Problem) -> (FluidNet, Vec<(simcore::FlowId, Vec<ResourceId>, f64, Option<f64>)>) {
+/// A started flow: id, path, weight, cap.
+type Started = (simcore::FlowId, Vec<ResourceId>, f64, Option<f64>);
+
+fn build(p: &Problem) -> (FluidNet, Vec<Started>) {
     let mut net = FluidNet::new();
     let rids: Vec<ResourceId> = p
         .capacities

@@ -1,0 +1,193 @@
+//! Fast-vs-reference allocator equivalence suite.
+//!
+//! The incremental solver (`FluidNet::reallocate`: slab + inverse index +
+//! per-component dirty tracking) must produce **bit-identical** results to
+//! the from-scratch `fluid::reference::reallocate` after *any* sequence of
+//! mutations — flow starts/cancels/completions, cap changes, capacity
+//! changes (including to zero) — because simulated completion times derive
+//! from the rates, and a single-ulp drift would change event timestamps and
+//! break golden-trace / `--json` byte-stability.
+//!
+//! Each property drives one net through a randomized mutation sequence and,
+//! at every checkpoint, snapshots rates and per-resource allocations from
+//! the incremental solve, re-solves the same net from scratch with the
+//! reference solver, and compares the f64 **bit patterns** (`to_bits`, not
+//! approximate equality). The reference solver rebuilds the adjacency and
+//! component decomposition from the flow paths alone, so stale inverse-index
+//! entries, missed dirty bits, or components split/merged incorrectly all
+//! surface as mismatches.
+//!
+//! Case count honours `PROPTEST_CASES` (CI runs 512).
+
+use proptest::prelude::*;
+use simcore::fluid::reference;
+use simcore::{FlowId, FluidNet, FlowSpec, ResourceId};
+
+/// One step of a mutation script. Indices are resolved modulo the live
+/// flow / resource count at application time, so scripts stay valid as
+/// flows come and go.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Start a flow with the given path (resource indices), weight, cap.
+    Start(Vec<usize>, f64, Option<f64>),
+    /// Cancel the n-th live flow.
+    Cancel(usize),
+    /// Change the n-th live flow's cap.
+    SetCap(usize, Option<f64>),
+    /// Change a resource's capacity (0.0 exercises the stalled path).
+    SetCapacity(usize, f64),
+    /// Solve, then advance time toward the next completion (factor > 1
+    /// completes at least one flow; churn for the dirty tracking).
+    Elapse(f64),
+    /// Solve incrementally and compare against the reference solver.
+    Check,
+}
+
+fn op(nres: usize) -> impl Strategy<Value = Op> {
+    let start = (
+        prop::collection::btree_set(0..nres, 1..=nres.min(4)),
+        0.1f64..8.0,
+        prop::option::of(0.5f64..300.0),
+    )
+        .prop_map(|(path, w, cap)| Op::Start(path.into_iter().collect(), w, cap));
+    let capacity = prop_oneof![Just(0.0f64), 1.0f64..1000.0];
+    prop_oneof![
+        start.boxed(),
+        (0..64usize).prop_map(Op::Cancel).boxed(),
+        (0..64usize, prop::option::of(0.5f64..300.0))
+            .prop_map(|(i, c)| Op::SetCap(i, c))
+            .boxed(),
+        ((0..nres), capacity)
+            .prop_map(|(r, c)| Op::SetCapacity(r, c))
+            .boxed(),
+        (0.25f64..1.5).prop_map(Op::Elapse).boxed(),
+        Just(Op::Check).boxed(),
+    ]
+}
+
+fn script() -> impl Strategy<Value = (Vec<f64>, Vec<Op>)> {
+    let caps = prop::collection::vec(prop_oneof![Just(0.0f64), 1.0f64..1000.0], 2..8);
+    caps.prop_flat_map(|capacities| {
+        let nres = capacities.len();
+        prop::collection::vec(op(nres), 8..60)
+            .prop_map(move |ops| (capacities.clone(), ops))
+    })
+}
+
+/// Bitwise snapshot of everything the solver outputs.
+fn snapshot(net: &FluidNet, flows: &[FlowId], rids: &[ResourceId]) -> (Vec<Option<u64>>, Vec<u64>) {
+    let rates = flows.iter().map(|&f| net.flow_rate(f).map(f64::to_bits)).collect();
+    let allocs = rids.iter().map(|&r| net.allocated(r).to_bits()).collect();
+    (rates, allocs)
+}
+
+/// Run one script, checking fast == reference at every checkpoint and at
+/// the end. Returns the number of checkpoints compared.
+fn run_script(capacities: &[f64], ops: &[Op]) -> Result<u32, TestCaseError> {
+    let mut net = FluidNet::new();
+    let rids: Vec<ResourceId> = capacities
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| net.add_resource(format!("r{}", i), c))
+        .collect();
+    let mut live: Vec<FlowId> = Vec::new();
+    let mut tag = 0u64;
+    let mut checks = 0u32;
+
+    let check = |net: &mut FluidNet, live: &[FlowId]| -> Result<(), TestCaseError> {
+        net.reallocate();
+        let fast = snapshot(net, live, &rids);
+        reference::reallocate(net);
+        let refr = snapshot(net, live, &rids);
+        prop_assert_eq!(
+            &fast,
+            &refr,
+            "fast/reference diverged over {} flows: fast={:?} ref={:?}",
+            live.len(),
+            fast,
+            refr
+        );
+        Ok(())
+    };
+
+    for o in ops {
+        match o {
+            Op::Start(path, w, cap) => {
+                let rpath: Vec<ResourceId> = path.iter().map(|&i| rids[i]).collect();
+                tag += 1;
+                let id = net.start_flow(FlowSpec {
+                    path: rpath,
+                    volume: 10.0 + (tag as f64) * 3.5,
+                    weight: *w,
+                    cap: *cap,
+                    tag,
+                });
+                live.push(id);
+            }
+            Op::Cancel(i) => {
+                if !live.is_empty() {
+                    let id = live.remove(i % live.len());
+                    net.cancel_flow(id).expect("live flow cancels");
+                }
+            }
+            Op::SetCap(i, c) => {
+                if !live.is_empty() {
+                    net.set_flow_cap(live[i % live.len()], *c);
+                }
+            }
+            Op::SetCapacity(r, c) => net.set_capacity(rids[*r], *c),
+            Op::Elapse(factor) => {
+                net.reallocate();
+                if let Some(dt) = net.time_to_next_completion() {
+                    net.elapse(dt * factor);
+                    live.retain(|&f| net.flow_rate(f).is_some());
+                }
+            }
+            Op::Check => {
+                check(&mut net, &live)?;
+                checks += 1;
+            }
+        }
+    }
+    check(&mut net, &live)?;
+    Ok(checks + 1)
+}
+
+proptest! {
+    /// Randomized topologies, weights, caps and mutation sequences: the
+    /// incremental solve equals the from-scratch solve, bit for bit.
+    #[test]
+    fn incremental_matches_reference_bitwise(case in script()) {
+        let (capacities, ops) = case;
+        run_script(&capacities, &ops)?;
+    }
+}
+
+#[test]
+fn cap_freeze_and_zero_capacity_edge_cases() {
+    // Deterministic corner mix: zero-capacity resource in the middle of a
+    // path, cap exactly at the fair share, cap far below and far above,
+    // plus churn that repeatedly crosses component boundaries.
+    let caps = [100.0, 0.0, 50.0, 300.0];
+    let ops = vec![
+        Op::Start(vec![0], 1.0, Some(50.0)), // cap == fair share of r0 under 2 flows
+        Op::Start(vec![0], 1.0, None),
+        Op::Check,
+        Op::Start(vec![1], 2.0, None), // rides the dead resource: rate 0
+        Op::Start(vec![1, 2], 1.0, Some(10.0)),
+        Op::Check,
+        Op::Start(vec![0, 2, 3], 0.5, Some(0.75)), // tiny cap freezes first
+        Op::Start(vec![3], 4.0, Some(10_000.0)),   // cap never binds
+        Op::Check,
+        Op::SetCapacity(1, 80.0), // resurrect the dead resource
+        Op::Check,
+        Op::Elapse(1.0),
+        Op::SetCapacity(3, 0.0), // kill a loaded resource
+        Op::Check,
+        Op::Cancel(0),
+        Op::SetCap(0, None),
+        Op::Check,
+    ];
+    let checks = run_script(&caps, &ops).expect("bitwise equivalence");
+    assert_eq!(checks, 7); // the six scripted checkpoints plus the final one
+}

@@ -16,4 +16,7 @@ cargo clippy --workspace -- -D warnings
 echo "==> repro smoke: one figure through the parallel campaign engine"
 cargo run --release -p bench --bin repro -- --quick --only fig1 --jobs 2
 
+echo "==> allocator bench smoke: incremental vs reference solver"
+cargo bench -p bench --features bench-harness --bench fluid
+
 echo "==> OK: build, tests, lints and repro smoke all green"
