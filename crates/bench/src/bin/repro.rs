@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! repro [--quick] [--jobs N] [--csv DIR] [--json FILE] [--timings FILE]
-//!       [--trace FILE]
-//!       [--list | --all | --fig N | --table 1 | --ext | --only NAME[,NAME]]
+//!       [--trace FILE] [--fuzz-budget N]
+//!       [--list | --all | --fig N | --table 1 | --ext | --validate
+//!        | --only NAME[,NAME]]
 //! ```
 //!
 //! Selection goes through the experiment registry
@@ -19,6 +20,14 @@
 //! bands, the paper's reference values as notes, PASS/FAIL qualitative
 //! checks, and a campaign timing summary.
 //!
+//! `--validate` runs the simcheck validation campaign instead of the paper
+//! figures: closed-form oracles on every cluster preset, metamorphic
+//! invariants over random fluid scenarios, and the differential scenario
+//! fuzzer (`--fuzz-budget N` overrides the scenario count; failing scripts
+//! are shrunk and printed, and also written to `$SIMCHECK_FAILURE_DIR` when
+//! that variable is set). Like every other run, a failing check exits 1 —
+//! `scripts/verify.sh` and CI gate on it.
+//!
 //! `--trace FILE` enables the deterministic telemetry layer and writes the
 //! merged campaign journal as Chrome trace-event JSON — open it in
 //! `chrome://tracing` or <https://ui.perfetto.dev>. The journal is keyed to
@@ -33,8 +42,9 @@ use interference::experiments::{self, Fidelity};
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--jobs N] [--csv DIR] [--json FILE] [--timings FILE]\n\
-         \x20            [--trace FILE]\n\
-         \x20            [--list | --all | --fig N | --table 1 | --ext | --only NAME[,NAME]]"
+         \x20            [--trace FILE] [--fuzz-budget N]\n\
+         \x20            [--list | --all | --fig N | --table 1 | --ext | --validate\n\
+         \x20             | --only NAME[,NAME]]"
     );
     std::process::exit(2);
 }
@@ -81,6 +91,18 @@ fn main() {
             }
             "--all" => select = None,
             "--ext" => select = Some("ext".into()),
+            "--validate" => select = Some("validate".into()),
+            "--fuzz-budget" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+                // The validation plan reads the budget from the environment
+                // so plan() and run_point() agree on the chunking.
+                std::env::set_var("SIMCHECK_FUZZ_BUDGET", n.to_string());
+            }
             "--fig" => {
                 i += 1;
                 let n = args.get(i).cloned().unwrap_or_else(|| usage());
@@ -188,6 +210,7 @@ fn selected_experiments(select: Option<&str>, only: &[String]) -> Vec<&'static d
     match select {
         None => experiments::PAPER_EXPERIMENTS.to_vec(),
         Some("ext") => experiments::EXTENSION_EXPERIMENTS.to_vec(),
+        Some("validate") => vec![experiments::VALIDATION_EXPERIMENT],
         Some(name) => match experiments::find(name) {
             Some(e) => vec![e],
             None => {

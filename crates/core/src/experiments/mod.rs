@@ -29,6 +29,7 @@ pub mod faulted_pingpong;
 pub mod overlap;
 pub mod fig10_usecases;
 pub mod table1;
+pub mod validation;
 
 use crate::campaign::{self, CampaignOptions, Experiment};
 use crate::report::FigureData;
@@ -140,6 +141,11 @@ pub fn all_experiments() -> Vec<&'static dyn Experiment> {
 pub fn find(name: &str) -> Option<&'static dyn Experiment> {
     all_experiments().into_iter().find(|e| e.name() == name)
 }
+
+/// The validation campaign (`repro --validate`). Deliberately *outside*
+/// the registries: `--all` reproduces the paper, validation interrogates
+/// the simulator itself (see [`validation`]).
+pub static VALIDATION_EXPERIMENT: &dyn Experiment = &validation::Validate;
 
 /// Run every figure driver on henri at the given fidelity. Used by the
 /// repro binary's `--all` mode and by the end-to-end integration test.

@@ -1,0 +1,238 @@
+//! `repro --validate` — the simcheck validation campaign.
+//!
+//! Not a paper figure and deliberately **not** in the experiment
+//! registries (`--all` reproduces the paper; validation interrogates the
+//! simulator itself). The driver folds simcheck's three layers into one
+//! campaign plan:
+//!
+//! * one point per *(cluster preset × oracle family)* — closed-form
+//!   expectations vs simulator runs (24 points);
+//! * one point per metamorphic invariant over a batch of random fluid
+//!   scenarios (6 points);
+//! * the differential fuzz budget, chunked so the campaign engine can
+//!   spread scenario replay across workers.
+//!
+//! The fuzz budget defaults to `Full`: 200 / `Quick`: 60 scenarios and can
+//! be overridden with `--fuzz-budget N` (plumbed through the
+//! `SIMCHECK_FUZZ_BUDGET` environment variable so the plan and the points
+//! agree on the chunking). When `SIMCHECK_FAILURE_DIR` is set, every
+//! shrunk failing script is also written there as a file — the nightly
+//! long-fuzz workflow uploads that directory as an artifact.
+
+use simcheck::scenario::GenConfig;
+use simcheck::{fuzz, metamorphic, oracles};
+use topology::Preset;
+
+use super::Fidelity;
+use crate::campaign::{self, expect_value, Experiment, PointCtx, PointValue, SweepPoint};
+use crate::report::{Check, FigureData};
+
+/// Scenarios per fuzz sweep point (chunk).
+const FUZZ_CHUNK: usize = 50;
+
+/// Scenario batch size for each metamorphic invariant point.
+fn meta_count(fidelity: Fidelity) -> usize {
+    fidelity.choose(40, 12)
+}
+
+/// Total fuzz budget: `SIMCHECK_FUZZ_BUDGET` override or the fidelity
+/// default. Read identically from `plan` and `run_point` so the chunking
+/// is consistent within a campaign.
+fn fuzz_budget(fidelity: Fidelity) -> usize {
+    std::env::var("SIMCHECK_FUZZ_BUDGET")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| fidelity.choose(200, 60))
+}
+
+fn fuzz_chunks(fidelity: Fidelity) -> usize {
+    fuzz_budget(fidelity).div_ceil(FUZZ_CHUNK)
+}
+
+/// The validation campaign driver (`repro --validate`).
+pub struct Validate;
+
+impl Validate {
+    fn oracle_points() -> usize {
+        Preset::clusters().len() * oracles::OracleKind::ALL.len()
+    }
+
+    fn meta_base(fidelity: Fidelity) -> usize {
+        let _ = fidelity;
+        Self::oracle_points()
+    }
+
+    fn fuzz_base(fidelity: Fidelity) -> usize {
+        Self::meta_base(fidelity) + metamorphic::Invariant::ALL.len()
+    }
+}
+
+impl Experiment for Validate {
+    fn name(&self) -> &'static str {
+        "validate"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "model validation (oracles, metamorphic invariants, differential fuzz)"
+    }
+
+    fn plan(&self, fidelity: Fidelity) -> Vec<SweepPoint> {
+        let mut plan = Vec::new();
+        for preset in Preset::clusters() {
+            for kind in oracles::OracleKind::ALL {
+                plan.push(SweepPoint::new(
+                    plan.len(),
+                    format!("oracle {} on {}", kind.name(), preset.spec().name),
+                ));
+            }
+        }
+        for inv in metamorphic::Invariant::ALL {
+            plan.push(SweepPoint::new(
+                plan.len(),
+                format!("metamorphic {} ({} scenarios)", inv.name(), meta_count(fidelity)),
+            ));
+        }
+        let budget = fuzz_budget(fidelity);
+        for c in 0..fuzz_chunks(fidelity) {
+            let n = FUZZ_CHUNK.min(budget - c * FUZZ_CHUNK);
+            plan.push(SweepPoint::new(
+                plan.len(),
+                format!("differential fuzz chunk {} ({} scenarios)", c, n),
+            ));
+        }
+        plan
+    }
+
+    fn run_point(&self, point: &SweepPoint, ctx: &PointCtx<'_>) -> Result<PointValue, String> {
+        let kinds = oracles::OracleKind::ALL.len();
+        let outcomes: Vec<simcheck::Outcome> = if point.index < Self::oracle_points() {
+            let preset = Preset::clusters()[point.index / kinds];
+            let kind = oracles::OracleKind::ALL[point.index % kinds];
+            kind.run(&preset.spec())
+        } else if point.index < Self::fuzz_base(ctx.fidelity) {
+            let inv = metamorphic::Invariant::ALL[point.index - Self::meta_base(ctx.fidelity)];
+            vec![inv.check(ctx.seed, meta_count(ctx.fidelity))]
+        } else {
+            let chunk = point.index - Self::fuzz_base(ctx.fidelity);
+            let budget = fuzz_budget(ctx.fidelity);
+            let n = FUZZ_CHUNK.min(budget - chunk * FUZZ_CHUNK);
+            let report = fuzz::run(ctx.seed, n, &GenConfig::default());
+            if let Ok(dir) = std::env::var("SIMCHECK_FAILURE_DIR") {
+                for f in &report.failures {
+                    let _ = std::fs::create_dir_all(&dir);
+                    let path = format!("{}/fuzz-seed-{:016x}.txt", dir, f.seed);
+                    let body = format!(
+                        "seed: {:#018x}\nreason: {}\nshrunk {} -> {} events\n\n{}",
+                        f.seed, f.reason, f.events_before, f.events_after, f.script
+                    );
+                    let _ = std::fs::write(path, body);
+                }
+            }
+            let detail = match report.failures.first() {
+                None => format!("{} scenarios, 0 divergences", report.scenarios),
+                Some(f) => format!(
+                    "{} divergence(s) in {} scenarios; first: seed {:#018x}, {}, shrunk to {} \
+                     event(s):\n{}",
+                    report.failures.len(),
+                    report.scenarios,
+                    f.seed,
+                    f.reason,
+                    f.events_after,
+                    f.script
+                ),
+            };
+            vec![simcheck::Outcome::bool(
+                format!("fuzz chunk {} [{} scenario(s)]", chunk, report.scenarios),
+                report.failures.is_empty(),
+                detail,
+            )]
+        };
+        Ok(Box::new(outcomes))
+    }
+
+    fn finalize(&self, fidelity: Fidelity, points: &[campaign::PointOutcome]) -> Vec<FigureData> {
+        let mut checks = Vec::new();
+        let mut oracle_n = 0usize;
+        let mut meta_n = 0usize;
+        let mut fuzz_scenarios = 0usize;
+        for p in points {
+            let outcomes = expect_value::<Vec<simcheck::Outcome>>(points, p.index);
+            for o in outcomes {
+                if p.index < Self::oracle_points() {
+                    oracle_n += 1;
+                } else if p.index < Self::fuzz_base(fidelity) {
+                    meta_n += 1;
+                } else if let Some(n) = o
+                    .name
+                    .rsplit('[')
+                    .next()
+                    .and_then(|t| t.split_whitespace().next())
+                    .and_then(|t| t.parse::<usize>().ok())
+                {
+                    fuzz_scenarios += n;
+                }
+                checks.push(Check::new(o.name.clone(), o.pass, o.detail.clone()));
+            }
+        }
+        let failed = checks.iter().filter(|c| !c.pass).count();
+        vec![FigureData {
+            id: "validate",
+            title: format!(
+                "Model validation: {} oracle checks, {} metamorphic invariants, {} fuzzed \
+                 scenarios ({} failure(s))",
+                oracle_n, meta_n, fuzz_scenarios, failed
+            ),
+            xlabel: "check",
+            ylabel: "verdict",
+            series: Vec::new(),
+            notes: vec![
+                "closed-form oracles on every cluster preset (DESIGN.md §11): eager α+β·size, \
+                 rendezvous bandwidth, threshold crossover, turbo ladders, memory saturation, \
+                 max-min shares"
+                    .into(),
+                "metamorphic invariants over random fluid scenarios: determinism, \
+                 time-translation, permutation symmetry, monotonicity, conservation"
+                    .into(),
+                format!(
+                    "differential fuzz: incremental vs reference solver (bit-exact) and permuted \
+                     insertion orders, {} scenarios, failures shrunk to minimal scripts",
+                    fuzz_scenarios
+                ),
+            ],
+            checks,
+            runs: Vec::new(),
+        }]
+    }
+}
+
+/// Run the validation campaign serially at the given fidelity.
+pub fn run(fidelity: Fidelity) -> FigureData {
+    campaign::run_experiment(&Validate, &campaign::CampaignOptions::serial(fidelity))
+        .figures
+        .remove(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_validation_passes_every_check() {
+        let f = run(Fidelity::Quick);
+        for c in &f.checks {
+            assert!(c.pass, "{} — {}", c.name, c.detail);
+        }
+        // All three layers contributed.
+        assert!(f.checks.len() > Validate::oracle_points());
+        assert!(f.title.contains("0 failure(s)"), "{}", f.title);
+    }
+
+    #[test]
+    fn plan_respects_fuzz_budget_env() {
+        // Serialized via the campaign engine elsewhere; here just exercise
+        // the chunk arithmetic.
+        let plan = Validate.plan(Fidelity::Quick);
+        let fuzz_points = plan.len() - Validate::fuzz_base(Fidelity::Quick);
+        assert_eq!(fuzz_points, fuzz_budget(Fidelity::Quick).div_ceil(FUZZ_CHUNK));
+    }
+}

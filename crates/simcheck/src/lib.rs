@@ -1,0 +1,115 @@
+//! # simcheck — validation subsystem for the interference simulator
+//!
+//! The golden-trace suite guards against *regressions* (byte-identity with
+//! our own past output); this crate guards against *model drift* — the
+//! simulated substrate silently diverging from the first-principles models
+//! it claims to implement. Three layers (see `DESIGN.md` §11):
+//!
+//! * [`oracles`] — closed-form expected values derived independently from
+//!   the topology/freq/netsim parameters (eager half-RTT `α + β·size`,
+//!   rendezvous threshold crossover, max-min link shares, turbo-table
+//!   frequencies, memory-channel saturation), compared against simulator
+//!   runs within tight relative tolerances;
+//! * [`metamorphic`] — invariants over randomly generated fluid scenarios:
+//!   seed determinism, time-translation invariance, resource-permutation
+//!   symmetry, contention/size monotonicity and byte conservation under
+//!   fault windows;
+//! * [`fuzz`] — a differential scenario fuzzer replaying random scripts
+//!   under the incremental vs `fluid::reference` solvers and under permuted
+//!   flow-insertion orders, shrinking any failure to a minimal script.
+//!
+//! Everything is deterministic given a seed; `repro --validate` wires the
+//! three layers into the campaign engine and exports the outcomes as
+//! machine-readable checks.
+
+#![warn(missing_docs)]
+
+pub mod fuzz;
+pub mod metamorphic;
+pub mod oracles;
+pub mod scenario;
+
+/// One validation verdict: a named quantity, its analytically expected
+/// value, the simulated value, and whether the relative error is inside
+/// the documented tolerance.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// What was checked (e.g. `"henri: eager t(16384 B)"`).
+    pub name: String,
+    /// Whether the check passed.
+    pub pass: bool,
+    /// Analytically expected value.
+    pub expected: f64,
+    /// Simulated value.
+    pub actual: f64,
+    /// Observed relative error.
+    pub rel_err: f64,
+    /// Relative tolerance the check was held to.
+    pub tol: f64,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl Outcome {
+    /// Compare `actual` against `expected` within relative tolerance `tol`
+    /// (plus a tiny absolute floor so exact-zero expectations work).
+    pub fn compare(name: impl Into<String>, expected: f64, actual: f64, tol: f64) -> Outcome {
+        let denom = expected.abs().max(1e-30);
+        let rel_err = (actual - expected).abs() / denom;
+        Outcome {
+            name: name.into(),
+            pass: rel_err <= tol,
+            expected,
+            actual,
+            rel_err,
+            tol,
+            detail: format!(
+                "expected {:.9e}, simulated {:.9e}, rel err {:.3e} (tol {:.1e})",
+                expected, actual, rel_err, tol
+            ),
+        }
+    }
+
+    /// A boolean verdict with no numeric comparison (metamorphic/fuzz
+    /// aggregates).
+    pub fn bool(name: impl Into<String>, pass: bool, detail: impl Into<String>) -> Outcome {
+        Outcome {
+            name: name.into(),
+            pass,
+            expected: 0.0,
+            actual: if pass { 0.0 } else { 1.0 },
+            rel_err: 0.0,
+            tol: 0.0,
+            detail: detail.into(),
+        }
+    }
+
+    /// A bound verdict: passes iff an aggregated worst-case error is at
+    /// most `bound`.
+    pub fn bound(name: impl Into<String>, worst: f64, bound: f64) -> Outcome {
+        Outcome {
+            name: name.into(),
+            pass: worst <= bound,
+            expected: bound,
+            actual: worst,
+            rel_err: worst,
+            tol: bound,
+            detail: format!("worst observed error {:.3e} (bound {:.1e})", worst, bound),
+        }
+    }
+
+    /// An exactness verdict: passes iff the worst observed absolute
+    /// deviation is exactly zero (used for table lookups that must match
+    /// bit for bit).
+    pub fn exact(name: impl Into<String>, worst_abs: f64, detail: impl Into<String>) -> Outcome {
+        Outcome {
+            name: name.into(),
+            pass: worst_abs == 0.0,
+            expected: 0.0,
+            actual: worst_abs,
+            rel_err: worst_abs,
+            tol: 0.0,
+            detail: detail.into(),
+        }
+    }
+}

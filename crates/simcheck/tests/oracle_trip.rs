@@ -1,0 +1,97 @@
+//! Acceptance test for oracle sensitivity: a deliberately perturbed machine
+//! constant must trip the corresponding oracle.
+//!
+//! On stock `henri` the eager path is PIO-bound (4 B/cycle · 2.3 GHz =
+//! 9.2 GB/s < 10.8 GB/s DMA < 12.08 GB/s link) and the rendezvous path is
+//! DMA-bound, so perturbing `link_bw` there would change nothing. We
+//! therefore lower `link_bw` below the DMA bandwidth first — making the
+//! link the honest bottleneck — compute the oracle expectations from that
+//! spec, then simulate with the link quietly made 1% faster. The
+//! rendezvous-bandwidth oracle must notice.
+
+use simcheck::oracles;
+use topology::presets;
+
+/// Clone henri with a link slow enough to be the rendezvous bottleneck.
+fn link_bound_henri() -> topology::MachineSpec {
+    let mut spec = presets::henri();
+    spec.network.link_bw = 9.0e9;
+    spec
+}
+
+#[test]
+fn unperturbed_link_bound_machine_passes_all_oracles() {
+    let spec = link_bound_henri();
+    for kind in oracles::OracleKind::ALL {
+        for o in kind.run(&spec) {
+            assert!(o.pass, "{} failed on honest machine: {}", o.name, o.detail);
+        }
+    }
+}
+
+#[test]
+fn one_percent_link_bandwidth_perturbation_trips_rendezvous_oracle() {
+    let honest = link_bound_henri();
+    // Expectations from the honest spec; measurements from a machine whose
+    // link is 1% faster than the spec admits.
+    let mut perturbed = honest.clone();
+    perturbed.network.link_bw *= 1.01;
+
+    let size = 8 * 1024 * 1024;
+    let expected = oracles::expected_rendezvous_s(&honest, size, false);
+    let actual = oracles::measured_one_way_s(&perturbed, size, true);
+    let outcome = simcheck::Outcome::compare(
+        "perturbed: rdv t(8 MiB)",
+        expected,
+        actual,
+        oracles::TOL_TIME,
+    );
+    assert!(
+        !outcome.pass,
+        "a +1% link-bandwidth drift went unnoticed: {}",
+        outcome.detail
+    );
+    // The observed error should be roughly the injected 1%, not noise.
+    assert!(
+        outcome.rel_err > 5e-3,
+        "trip margin suspiciously small: {}",
+        outcome.detail
+    );
+}
+
+#[test]
+fn one_percent_dma_bandwidth_perturbation_trips_rendezvous_oracle_on_stock_henri() {
+    let honest = presets::henri();
+    let mut perturbed = honest.clone();
+    perturbed.network.dma_bw *= 1.01;
+
+    let size = 8 * 1024 * 1024;
+    let expected = oracles::expected_rendezvous_s(&honest, size, false);
+    let actual = oracles::measured_one_way_s(&perturbed, size, true);
+    let outcome = simcheck::Outcome::compare(
+        "perturbed: rdv t(8 MiB) dma",
+        expected,
+        actual,
+        oracles::TOL_TIME,
+    );
+    assert!(
+        !outcome.pass,
+        "a +1% DMA-bandwidth drift went unnoticed: {}",
+        outcome.detail
+    );
+}
+
+#[test]
+fn all_presets_pass_all_oracles() {
+    let outcomes = oracles::run_all_presets();
+    assert!(!outcomes.is_empty());
+    let failures: Vec<&simcheck::Outcome> = outcomes.iter().filter(|o| !o.pass).collect();
+    assert!(
+        failures.is_empty(),
+        "oracle failures: {:?}",
+        failures
+            .iter()
+            .map(|o| format!("{}: {}", o.name, o.detail))
+            .collect::<Vec<_>>()
+    );
+}

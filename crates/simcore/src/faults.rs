@@ -289,6 +289,28 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_and_inverted_stall_windows_are_rejected() {
+        let t = SimTime::from_millis(3);
+        for (start, end) in [(t, t), (t, t - SimTime::PS)] {
+            let e = FaultPlan::new(0).with_nic_stall(start, end).validate();
+            assert!(
+                matches!(e, Err(FaultPlanError::EmptyWindow { kind: "NIC stall", .. })),
+                "{:?}",
+                e
+            );
+        }
+    }
+
+    #[test]
+    fn one_picosecond_windows_are_the_smallest_valid_ones() {
+        let t = SimTime::from_millis(3);
+        let p = FaultPlan::new(0)
+            .with_nic_stall(t, t + SimTime::PS)
+            .with_link_degradation(t, t + SimTime::PS, 0.5);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
     fn drop_streams_replay_identically() {
         let a = FaultPlan::new(99).with_rts_drop(0.5);
         let b = FaultPlan::new(99).with_rts_drop(0.5);

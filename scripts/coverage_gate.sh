@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Line-coverage ratchet: run `cargo llvm-cov` over the workspace test suite
+# and fail when total line coverage drops more than the allowed slack below
+# the checked-in baseline.
+#
+#   baseline:  coverage-baseline.txt (a single number, percent)
+#   slack:     2.0 percentage points
+#
+# Updating the baseline: when coverage has genuinely improved (or a
+# refactor moved code between crates), run this script locally with
+# cargo-llvm-cov installed, take the "total line coverage" figure it
+# prints, and write it into coverage-baseline.txt in the same change.
+# Never lower the baseline to make a regression pass — shrink the diff or
+# add tests instead.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE_FILE=coverage-baseline.txt
+SLACK_PP=2.0
+
+if ! cargo llvm-cov --version >/dev/null 2>&1; then
+    echo "coverage_gate: cargo-llvm-cov is not installed; skipping." >&2
+    echo "coverage_gate: (CI installs it; locally: see https://github.com/taiki-e/cargo-llvm-cov)" >&2
+    exit 0
+fi
+
+baseline=$(tr -d '[:space:]' < "$BASELINE_FILE")
+summary=$(cargo llvm-cov --workspace --summary-only --json)
+
+actual=$(python3 - "$summary" <<'EOF'
+import json, sys
+data = json.loads(sys.argv[1])
+print(f"{data['data'][0]['totals']['lines']['percent']:.2f}")
+EOF
+)
+
+echo "coverage_gate: total line coverage ${actual}% (baseline ${baseline}%, slack ${SLACK_PP}pp)"
+
+python3 - "$actual" "$baseline" "$SLACK_PP" <<'EOF'
+import sys
+actual, baseline, slack = map(float, sys.argv[1:4])
+floor = baseline - slack
+if actual < floor:
+    print(f"coverage_gate: FAIL — {actual:.2f}% is below the floor {floor:.2f}% "
+          f"(baseline {baseline:.2f}% - {slack:.1f}pp)", file=sys.stderr)
+    print("coverage_gate: add tests, or — if the baseline is genuinely stale — "
+          "update coverage-baseline.txt per the header of scripts/coverage_gate.sh",
+          file=sys.stderr)
+    sys.exit(1)
+if actual > baseline + 1.0:
+    print(f"coverage_gate: note — coverage {actual:.2f}% is well above the baseline; "
+          f"consider ratcheting coverage-baseline.txt up")
+EOF
+
+echo "coverage_gate: OK"

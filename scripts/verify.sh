@@ -16,6 +16,10 @@ cargo clippy --workspace -- -D warnings
 echo "==> repro smoke: one figure through the parallel campaign engine"
 cargo run --release -p bench --bin repro -- --quick --only fig1 --jobs 2
 
+echo "==> model validation: oracles, metamorphic invariants, differential fuzz"
+# Exits non-zero if any oracle check fails (repro gates on failed checks).
+cargo run --release -p bench --bin repro -- --quick --validate --fuzz-budget 60 --jobs 2
+
 echo "==> allocator bench smoke: incremental vs reference solver"
 cargo bench -p bench --features bench-harness --bench fluid
 

@@ -110,7 +110,14 @@ fn value(b: &[u8], pos: &mut usize) -> Json {
                 };
                 skip_ws(b, pos);
                 expect(b, pos, b':');
-                obj.insert(key, value(b, pos));
+                let at = *pos;
+                let v = value(b, pos);
+                assert!(
+                    obj.insert(key.clone(), v).is_none(),
+                    "duplicate object key {:?} at byte {}",
+                    key,
+                    at
+                );
                 skip_ws(b, pos);
                 match b.get(*pos) {
                     Some(b',') => *pos += 1,

@@ -1,0 +1,66 @@
+//! Unit tests for the shared minimal JSON parser in `tests/support`.
+//!
+//! The parser validates every machine-readable export in the repo, so its
+//! own strictness needs pinning: malformed documents — trailing garbage
+//! after the top-level value, duplicate object keys — must fail loudly
+//! rather than silently yield a plausible value (a duplicate key used to
+//! keep the *last* occurrence, which would mask an exporter writing a
+//! field twice with different values).
+
+mod support;
+
+use std::panic::catch_unwind;
+
+use support::{parse, Json};
+
+#[test]
+fn parses_a_representative_document() {
+    let doc = parse(
+        r#"{"id":"fig1","pass":true,"nothing":null,
+            "series":[{"x":1e-3,"ys":[1,2.5,-3]},{"x":0.25,"ys":[]}],
+            "note":"unicode µs and \"escapes\" \\ \n"}"#,
+    );
+    assert_eq!(doc.get("id").as_str(), "fig1");
+    assert_eq!(*doc.get("pass"), Json::Bool(true));
+    assert_eq!(*doc.get("nothing"), Json::Null);
+    let series = doc.get("series").as_arr();
+    assert_eq!(series.len(), 2);
+    assert_eq!(*series[0].get("x"), Json::Num(1e-3));
+    assert_eq!(series[0].get("ys").as_arr().len(), 3);
+    assert!(doc.get("note").as_str().contains("µs and \"escapes\""));
+}
+
+#[test]
+fn rejects_trailing_garbage() {
+    let err = catch_unwind(|| parse("{\"a\": 1} x")).unwrap_err();
+    let msg = err.downcast_ref::<String>().expect("panic message");
+    assert!(msg.contains("trailing garbage"), "{}", msg);
+    // A second complete value after the first is garbage too.
+    assert!(catch_unwind(|| parse("[1, 2] [3]")).is_err());
+    assert!(catch_unwind(|| parse("1 2")).is_err());
+}
+
+#[test]
+fn rejects_duplicate_object_keys() {
+    let err = catch_unwind(|| parse(r#"{"a": 1, "a": 2}"#)).unwrap_err();
+    let msg = err.downcast_ref::<String>().expect("panic message");
+    assert!(msg.contains("duplicate object key \"a\""), "{}", msg);
+    // Duplicates nested below the top level are caught as well.
+    assert!(catch_unwind(|| parse(r#"{"outer": {"k": null, "k": null}}"#)).is_err());
+    // Same key at *different* nesting levels is fine.
+    let ok = parse(r#"{"k": {"k": 1}}"#);
+    assert_eq!(*ok.get("k").get("k"), Json::Num(1.0));
+}
+
+#[test]
+fn rejects_other_malformed_documents() {
+    assert!(catch_unwind(|| parse("")).is_err());
+    assert!(catch_unwind(|| parse("{\"a\":}")).is_err());
+    assert!(catch_unwind(|| parse("{\"a\" 1}")).is_err());
+    assert!(catch_unwind(|| parse("[1,")).is_err());
+    assert!(catch_unwind(|| parse("\"unterminated")).is_err());
+    assert!(catch_unwind(|| parse("tru")).is_err());
+    assert!(catch_unwind(|| parse("nul")).is_err());
+    assert!(catch_unwind(|| parse("1.2.3")).is_err());
+    assert!(catch_unwind(|| parse("{1: 2}")).is_err());
+}
