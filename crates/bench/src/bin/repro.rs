@@ -3,6 +3,7 @@
 //! ```text
 //! repro [--quick] [--jobs N] [--csv DIR] [--json FILE] [--timings FILE]
 //!       [--trace FILE] [--fuzz-budget N]
+//!       [--store DIR [--resume]] [--timeout SECS] [--allow-partial]
 //!       [--list | --all | --fig N | --table 1 | --ext | --validate
 //!        | --only NAME[,NAME]]
 //! ```
@@ -32,21 +33,51 @@
 //! merged campaign journal as Chrome trace-event JSON — open it in
 //! `chrome://tracing` or <https://ui.perfetto.dev>. The journal is keyed to
 //! sim-time only, so the file is byte-identical at any `--jobs` level.
+//!
+//! `--store DIR` persists every completed sweep point to a crash-consistent
+//! on-disk result store as it finishes; `--resume` restores previously
+//! persisted points instead of recomputing them, so a campaign killed
+//! mid-flight picks up where it left off — with exports byte-identical to
+//! an uninterrupted run (point seeds derive from the plan, never from
+//! execution order or wall time). Corrupt or torn entries are detected by
+//! checksum, quarantined, and recomputed — never served.
+//!
+//! `--timeout SECS` arms a per-point wall-clock deadline: a wedged point is
+//! cooperatively cancelled at the next simulation event and recorded as
+//! `TimedOut` instead of hanging the campaign. A campaign that completes
+//! partial (any failed or timed-out point, or a finalizer that could not
+//! produce its figures) exits 3 unless `--allow-partial` is passed.
+//!
+//! Exit codes: 0 success, 1 failed qualitative checks, 2 usage error,
+//! 3 partial campaign without `--allow-partial`.
 
-use std::io::Write;
-use std::time::Instant;
+use std::path::Path;
+use std::time::{Duration, Instant};
 
-use interference::campaign::{CampaignOptions, CampaignReport, Experiment, ExperimentRun};
+use interference::campaign::{
+    CampaignOptions, CampaignReport, Experiment, ExperimentRun, StoreCtx,
+};
 use interference::experiments::{self, Fidelity};
+use interference::store::{ResultStore, StoreStats};
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--jobs N] [--csv DIR] [--json FILE] [--timings FILE]\n\
          \x20            [--trace FILE] [--fuzz-budget N]\n\
+         \x20            [--store DIR [--resume]] [--timeout SECS] [--allow-partial]\n\
          \x20            [--list | --all | --fig N | --table 1 | --ext | --validate\n\
          \x20             | --only NAME[,NAME]]"
     );
     std::process::exit(2);
+}
+
+/// Write an export atomically (temp + rename): an interrupted run leaves
+/// either the previous artifact or the new one, never a truncated file.
+fn export(path: &str, bytes: &[u8], what: &str) {
+    if let Err(e) = interference::atomic_write(Path::new(path), bytes) {
+        eprintln!("error: failed to write {} {}: {}", what, path, e);
+        std::process::exit(1);
+    }
 }
 
 fn main() {
@@ -57,6 +88,10 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut timings_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut store_dir: Option<String> = None;
+    let mut resume = false;
+    let mut timeout: Option<Duration> = None;
+    let mut allow_partial = false;
     let mut list = false;
     let mut select: Option<String> = None;
     let mut only: Vec<String> = Vec::new();
@@ -89,6 +124,21 @@ fn main() {
                 i += 1;
                 trace_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--store" => {
+                i += 1;
+                store_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--resume" => resume = true,
+            "--timeout" => {
+                i += 1;
+                let secs: f64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                    .unwrap_or_else(|| usage());
+                timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--allow-partial" => allow_partial = true,
             "--all" => select = None,
             "--ext" => select = Some("ext".into()),
             "--validate" => select = Some("validate".into()),
@@ -131,16 +181,30 @@ fn main() {
         print_list();
         return;
     }
+    if resume && store_dir.is_none() {
+        eprintln!("--resume requires --store DIR");
+        usage();
+    }
+
+    let store = store_dir.as_ref().map(|dir| {
+        ResultStore::open(dir).unwrap_or_else(|e| {
+            eprintln!("error: cannot open result store {}: {}", dir, e);
+            std::process::exit(1);
+        })
+    });
 
     let exps = selected_experiments(select.as_deref(), &only);
-    let opts = CampaignOptions::new(fidelity, jobs).with_telemetry(trace_path.is_some());
+    let opts = CampaignOptions::new(fidelity, jobs)
+        .with_telemetry(trace_path.is_some())
+        .with_timeout(timeout);
     let t0 = Instant::now();
-    let (runs, report) = interference::campaign::run_set_with_report(&exps, &opts);
+    let ctx = store.as_ref().map(|s| StoreCtx { store: s, resume });
+    let (runs, report) = interference::campaign::run_set_with_store(&exps, &opts, ctx);
     let wall = t0.elapsed();
 
     if let Some(path) = &trace_path {
         let journal = report.journal.as_ref().expect("telemetry was enabled");
-        std::fs::write(path, journal.to_chrome_json()).expect("write trace");
+        export(path, journal.to_chrome_json().as_bytes(), "trace");
         println!(
             "(chrome trace written to {}: {} records across {} categories)",
             path,
@@ -159,8 +223,7 @@ fn main() {
             if let Some(dir) = &csv_dir {
                 std::fs::create_dir_all(dir).expect("create csv dir");
                 let path = format!("{}/{}.csv", dir, f.id);
-                let mut file = std::fs::File::create(&path).expect("create csv");
-                file.write_all(f.to_csv().as_bytes()).expect("write csv");
+                export(&path, f.to_csv().as_bytes(), "csv");
                 println!("   (csv written to {})", path);
             }
         }
@@ -168,29 +231,60 @@ fn main() {
     }
     if let Some(path) = &json_path {
         let owned: Vec<_> = runs.iter().flat_map(|r| r.figures.clone()).collect();
-        std::fs::write(path, interference::results::figures_to_json(&owned)).expect("write json");
+        export(
+            path,
+            interference::results::figures_to_json(&owned).as_bytes(),
+            "json",
+        );
         println!("(json written to {})", path);
     }
 
-    print_timings(&runs, &report, jobs, wall.as_secs_f64());
+    let store_stats = store.as_ref().map(|s| s.stats());
+    print_timings(&runs, &report, store_stats.as_ref(), jobs, wall.as_secs_f64());
     if let Some(path) = &timings_path {
-        std::fs::write(
+        export(
             path,
-            timings_json(&runs, &report, fidelity, jobs, wall.as_secs_f64()),
-        )
-        .expect("write timings");
+            timings_json(
+                &runs,
+                &report,
+                store_stats.as_ref(),
+                fidelity,
+                jobs,
+                wall.as_secs_f64(),
+            )
+            .as_bytes(),
+            "timings",
+        );
         println!("(timings written to {})", path);
     }
 
+    let partial = runs.iter().any(|r| r.is_partial());
     let total: usize = figs.iter().map(|f| f.checks.len()).sum();
     println!(
-        "== summary: {}/{} qualitative checks passed across {} figures/tables ==",
+        "== summary: {}/{} qualitative checks passed across {} figures/tables{} ==",
         total - failed,
         total,
-        figs.len()
+        figs.len(),
+        if partial { " (PARTIAL)" } else { "" }
     );
+    for r in runs.iter().filter(|r| r.is_partial()) {
+        eprintln!(
+            "partial: {} ({} failed, {} timed out{})",
+            r.name,
+            r.failed_points,
+            r.timed_out_points,
+            match &r.finalize_error {
+                Some(e) => format!("; finalize: {}", e),
+                None => String::new(),
+            }
+        );
+    }
     if failed > 0 {
         std::process::exit(1);
+    }
+    if partial && !allow_partial {
+        eprintln!("campaign completed partial; pass --allow-partial to exit 0");
+        std::process::exit(3);
     }
 }
 
@@ -237,19 +331,32 @@ fn print_list() {
 }
 
 /// Campaign timing summary: per-experiment busy time and throughput, plus
-/// a telemetry section (cache statistics; journal size when recording).
-fn print_timings(runs: &[ExperimentRun], report: &CampaignReport, jobs: usize, wall_s: f64) {
+/// a telemetry section (cache statistics; journal size when recording) and
+/// a durability section when a result store is bound.
+fn print_timings(
+    runs: &[ExperimentRun],
+    report: &CampaignReport,
+    store: Option<&StoreStats>,
+    jobs: usize,
+    wall_s: f64,
+) {
     println!("== campaign timings ({} job(s)) ==", jobs);
     for r in runs {
+        let mut flags = String::new();
+        if r.failed_points > 0 {
+            flags.push_str(&format!(" ({} FAILED)", r.failed_points));
+        }
+        if r.timed_out_points > 0 {
+            flags.push_str(&format!(" ({} TIMED OUT)", r.timed_out_points));
+        }
+        if r.restored_points > 0 {
+            flags.push_str(&format!(" ({} restored)", r.restored_points));
+        }
         println!(
             "   {:<18} {:>3} point(s){} {:>8.2} s busy  {:>6.2} points/s{}",
             r.name,
             r.points,
-            if r.failed_points > 0 {
-                format!(" ({} FAILED)", r.failed_points)
-            } else {
-                String::new()
-            },
+            flags,
             r.busy.as_secs_f64(),
             r.points_per_sec(),
             if report.journal.is_some() {
@@ -288,6 +395,16 @@ fn print_timings(runs: &[ExperimentRun], report: &CampaignReport, jobs: usize, w
         }
         None => println!("   journal: disabled (enable with --trace FILE)"),
     }
+    if let Some(s) = store {
+        println!("== result store ==");
+        println!(
+            "   {} persisted, {} restored (hit), {} miss(es), {} quarantined",
+            s.persisted, s.hits, s.misses, s.quarantined
+        );
+        if s.quarantined > 0 {
+            println!("   (quarantined entries were corrupt; recomputed, never served)");
+        }
+    }
     println!();
 }
 
@@ -295,29 +412,42 @@ fn print_timings(runs: &[ExperimentRun], report: &CampaignReport, jobs: usize, w
 fn timings_json(
     runs: &[ExperimentRun],
     report: &CampaignReport,
+    store: Option<&StoreStats>,
     fidelity: Fidelity,
     jobs: usize,
     wall_s: f64,
 ) -> String {
     let mut out = String::from("{");
     out.push_str(&format!(
-        "\"fidelity\":\"{:?}\",\"jobs\":{},\"wall_s\":{:.3},\"experiments\":[",
-        fidelity, jobs, wall_s
+        "\"fidelity\":\"{:?}\",\"jobs\":{},\"wall_s\":{:.3},\"partial\":{},\"experiments\":[",
+        fidelity,
+        jobs,
+        wall_s,
+        runs.iter().any(|r| r.is_partial())
     ));
     for (i, r) in runs.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"name\":\"{}\",\"points\":{},\"failed_points\":{},\"busy_s\":{:.3},\"sim_s\":{:.6}}}",
+            "{{\"name\":\"{}\",\"points\":{},\"failed_points\":{},\"timed_out_points\":{},\"restored_points\":{},\"busy_s\":{:.3},\"sim_s\":{:.6}}}",
             r.name,
             r.points,
             r.failed_points,
+            r.timed_out_points,
+            r.restored_points,
             r.busy.as_secs_f64(),
             r.sim.as_secs_f64()
         ));
     }
-    out.push_str("],\"telemetry\":{");
+    out.push(']');
+    if let Some(s) = store {
+        out.push_str(&format!(
+            ",\"store\":{{\"persisted\":{},\"hits\":{},\"misses\":{},\"quarantined\":{}}}",
+            s.persisted, s.hits, s.misses, s.quarantined
+        ));
+    }
+    out.push_str(",\"telemetry\":{");
     out.push_str(&format!(
         "\"enabled\":{},\"baseline_calls\":{},\"baseline_computed\":{}",
         report.journal.is_some(),

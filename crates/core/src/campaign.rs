@@ -31,15 +31,18 @@
 use std::any::Any;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+use simcore::cancel::{self, CancelToken};
 use simcore::telemetry::{self, Journal, Lane, Record, RecordKind};
 use simcore::{SimTime, SplitMix64};
 
+use crate::codec::{Dec, Enc};
 use crate::experiments::Fidelity;
 use crate::report::FigureData;
 use crate::runner::{self, RunStatus};
+use crate::store::{Lookup, ResultStore};
 
 /// Opaque per-point measurement value, downcast by `finalize`.
 pub type PointValue = Box<dyn Any + Send>;
@@ -92,6 +95,18 @@ pub trait Experiment: Sync {
     fn run_point(&self, point: &SweepPoint, ctx: &PointCtx<'_>) -> Result<PointValue, String>;
     /// Fold the executed points (in plan order) into figures.
     fn finalize(&self, fidelity: Fidelity, points: &[PointOutcome]) -> Vec<FigureData>;
+    /// Serialize a point value for the durable result store (exact bits —
+    /// see [`crate::codec`]). Default `None`: the experiment's points are
+    /// recomputed on resume instead of restored. Implementations must
+    /// round-trip through [`Experiment::decode_value`] bit-identically.
+    fn encode_value(&self, _value: &PointValue) -> Option<Vec<u8>> {
+        None
+    }
+    /// Inverse of [`Experiment::encode_value`]. Returns `None` on any
+    /// malformed or stale layout (the point is then recomputed).
+    fn decode_value(&self, _bytes: &[u8]) -> Option<PointValue> {
+        None
+    }
 }
 
 /// How one sweep point ended, plus its value when any attempt succeeded.
@@ -107,11 +122,15 @@ pub struct PointOutcome {
     pub status: RunStatus,
     /// The measurement, when one of the attempts succeeded.
     pub value: Option<PointValue>,
-    /// Wall time spent executing the point (all attempts).
+    /// Wall time spent executing the point (all attempts); zero when the
+    /// point was restored from the result store.
     pub wall: Duration,
     /// Telemetry journal of the attempt the outcome describes, when the
     /// campaign ran with [`CampaignOptions::telemetry`] enabled.
     pub journal: Option<Journal>,
+    /// True when the outcome was restored from the result store instead of
+    /// being executed (resume path).
+    pub restored: bool,
 }
 
 /// Downcast the value of point `index`, panicking with the recorded error
@@ -150,13 +169,41 @@ pub fn baseline_seed(key: &str) -> u64 {
     point_seed(key, 0xBA5E)
 }
 
-type Slot = Arc<OnceLock<Arc<dyn Any + Send + Sync>>>;
+/// A memo slot: empty, claimed by a computing worker, or holding the value.
+enum SlotState {
+    Empty,
+    Computing,
+    Ready(Arc<dyn Any + Send + Sync>),
+}
+
+struct MemoSlot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+impl Default for MemoSlot {
+    fn default() -> MemoSlot {
+        MemoSlot {
+            state: Mutex::new(SlotState::Empty),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+type Slot = Arc<MemoSlot>;
 
 /// Concurrent memo table for baseline measurements shared across sweep
 /// points (and across experiments of one campaign). Each key is computed
-/// exactly once — concurrent requesters block on the slot instead of
-/// recomputing — with a seed derived from the key, so cached values are
-/// identical no matter which point asks first.
+/// once — concurrent requesters block on the slot instead of recomputing —
+/// with a seed derived from the key, so cached values are identical no
+/// matter which point asks first.
+///
+/// Only *successful* computes are memoized: a compute that errors or
+/// panics (model failure, cooperative cancellation on a per-point
+/// deadline) resets its slot to empty, so the next requester retries under
+/// its own seed-determined conditions instead of inheriting a poisoned
+/// entry. Determinism makes the eventual successful value identical no
+/// matter how many failed attempts preceded it.
 #[derive(Default)]
 pub struct BaselineCache {
     slots: Mutex<HashMap<String, Slot>>,
@@ -175,6 +222,57 @@ impl BaselineCache {
         BaselineCache::default()
     }
 
+    /// Claim the slot for `key` (waiting out another worker's in-flight
+    /// compute) and run `run` to fill it. `Err` is returned to this caller
+    /// only and leaves the slot empty; a panic in `run` likewise resets the
+    /// slot before unwinding.
+    fn fetch_or_run<F>(&self, key: &str, run: F) -> Result<Arc<dyn Any + Send + Sync>, String>
+    where
+        F: FnOnce() -> Result<Arc<dyn Any + Send + Sync>, String>,
+    {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        let slot = {
+            let mut slots = self.slots.lock().expect("baseline cache poisoned");
+            slots.entry(key.to_string()).or_default().clone()
+        };
+        {
+            let mut st = slot.state.lock().expect("baseline slot poisoned");
+            loop {
+                match &*st {
+                    SlotState::Ready(v) => return Ok(Arc::clone(v)),
+                    SlotState::Computing => {
+                        st = slot.ready.wait(st).expect("baseline slot poisoned");
+                    }
+                    SlotState::Empty => {
+                        *st = SlotState::Computing;
+                        break;
+                    }
+                }
+            }
+        }
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        // Dropped on every exit path (including unwind): a slot still in
+        // `Computing` reverts to `Empty`, and waiters are woken either way.
+        struct Unclaim<'a>(&'a MemoSlot);
+        impl Drop for Unclaim<'_> {
+            fn drop(&mut self) {
+                let mut st = self.0.state.lock().expect("baseline slot poisoned");
+                if matches!(*st, SlotState::Computing) {
+                    *st = SlotState::Empty;
+                }
+                drop(st);
+                self.0.ready.notify_all();
+            }
+        }
+        let unclaim = Unclaim(&slot);
+        let res = run();
+        if let Ok(v) = &res {
+            *slot.state.lock().expect("baseline slot poisoned") = SlotState::Ready(Arc::clone(v));
+        }
+        drop(unclaim);
+        res
+    }
+
     /// Fetch the value under `key`, computing it with `f(baseline_seed(key))`
     /// on first use. Nested calls (a cached value that itself needs another
     /// baseline) are fine as long as keys do not form a cycle.
@@ -190,27 +288,51 @@ impl BaselineCache {
         T: Any + Send + Sync,
         F: FnOnce(u64) -> T,
     {
-        self.calls.fetch_add(1, Ordering::Relaxed);
-        let slot = {
-            let mut slots = self.slots.lock().expect("baseline cache poisoned");
-            slots.entry(key.to_string()).or_default().clone()
-        };
-        let v = slot.get_or_init(|| {
-            self.computed.fetch_add(1, Ordering::Relaxed);
-            let (v, journal) = telemetry::isolate(|| {
-                Arc::new(f(baseline_seed(key))) as Arc<dyn Any + Send + Sync>
+        let v = self
+            .fetch_or_run(key, || {
+                let (v, journal) = telemetry::isolate(|| {
+                    Arc::new(f(baseline_seed(key))) as Arc<dyn Any + Send + Sync>
+                });
+                if let Some(j) = journal {
+                    self.journals
+                        .lock()
+                        .expect("baseline journals poisoned")
+                        .insert(key.to_string(), j);
+                }
+                Ok(v)
+            })
+            .expect("infallible baseline compute");
+        v.downcast::<T>()
+            .unwrap_or_else(|_| panic!("baseline cache type mismatch for key {:?}", key))
+    }
+
+    /// Fallible variant of [`BaselineCache::get_or_compute`]: an `Err` from
+    /// `f` is returned to the caller but **never memoized** — the slot
+    /// stays empty and the next requester computes afresh. This matters
+    /// under per-point deadlines: a baseline compute cancelled by one
+    /// point's timeout must not poison the shared cache and fail every
+    /// later point that shares the baseline.
+    pub fn get_or_compute_result<T, F>(&self, key: &str, f: F) -> Result<Arc<T>, String>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce(u64) -> Result<T, String>,
+    {
+        let v = self.fetch_or_run(key, || {
+            let (res, journal) = telemetry::isolate(|| {
+                f(baseline_seed(key)).map(|v| Arc::new(v) as Arc<dyn Any + Send + Sync>)
             });
+            // The journal of a failed compute is dropped with it.
+            let v = res?;
             if let Some(j) = journal {
                 self.journals
                     .lock()
                     .expect("baseline journals poisoned")
                     .insert(key.to_string(), j);
             }
-            v
-        });
-        Arc::clone(v)
-            .downcast::<T>()
-            .unwrap_or_else(|_| panic!("baseline cache type mismatch for key {:?}", key))
+            Ok(v)
+        })?;
+        Ok(v.downcast::<T>()
+            .unwrap_or_else(|_| panic!("baseline cache type mismatch for key {:?}", key)))
     }
 
     /// Drain the telemetry journals of every computed baseline, sorted by
@@ -251,6 +373,14 @@ pub struct CampaignOptions {
     /// campaign report. Journals are keyed to sim-time and plan order only,
     /// so the merged journal is byte-identical at any `jobs` level.
     pub telemetry: bool,
+    /// Per-point wall-clock deadline. Each attempt runs under a
+    /// [`CancelToken`] with this budget; a wedged simulation is
+    /// cooperatively cancelled at the next event boundary and the point is
+    /// recorded as [`RunStatus::TimedOut`] instead of leaking its worker
+    /// thread. `None` (the default) imposes no deadline — timeouts are
+    /// wall-clock and therefore machine-dependent, so they are strictly
+    /// opt-in.
+    pub timeout: Option<Duration>,
 }
 
 impl CampaignOptions {
@@ -260,6 +390,7 @@ impl CampaignOptions {
             fidelity,
             jobs: jobs.max(1),
             telemetry: false,
+            timeout: None,
         }
     }
 
@@ -273,18 +404,127 @@ impl CampaignOptions {
         self.telemetry = on;
         self
     }
+
+    /// Arm a per-point wall-clock deadline.
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> CampaignOptions {
+        self.timeout = timeout;
+        self
+    }
+}
+
+/// Binding of a campaign to a durable [`ResultStore`].
+#[derive(Clone, Copy)]
+pub struct StoreCtx<'a> {
+    /// The store completed points are persisted to.
+    pub store: &'a ResultStore,
+    /// Restore previously persisted points instead of recomputing them.
+    /// Restores are skipped while telemetry recording is on — a restored
+    /// point has no journal, and serving it would change the merged trace;
+    /// determinism makes the recomputation byte-identical anyway.
+    pub resume: bool,
+}
+
+/// Version of the campaign-level point payload layout (wrapped around the
+/// experiment's own value encoding). Part of the store key: bumping it
+/// orphans old entries instead of misparsing them.
+const POINT_FORMAT: u32 = 1;
+
+/// Store key of one sweep point. Identity = experiment name, fidelity,
+/// plan index and the hash-derived first-attempt seed ([`point_seed`]) —
+/// so a change to the seeding scheme or the payload layout makes old
+/// entries unreachable rather than wrong.
+fn point_key(exp: &str, fidelity: Fidelity, index: usize) -> String {
+    format!(
+        "point/v{}/{}/{:?}/{}/{:016x}",
+        POINT_FORMAT,
+        exp,
+        fidelity,
+        index,
+        point_seed(exp, index)
+    )
+}
+
+/// Serialize a completed/recovered outcome (status header + the
+/// experiment's value bytes). `None` for outcomes that must not be served
+/// from the store (failures, timeouts, undurable experiments).
+fn encode_outcome(exp: &dyn Experiment, o: &PointOutcome) -> Option<Vec<u8>> {
+    let value = o.value.as_ref()?;
+    let value_bytes = exp.encode_value(value)?;
+    let mut e = Enc::new();
+    match &o.status {
+        RunStatus::Completed => {
+            e.u8(0);
+        }
+        RunStatus::Recovered { failed_seed, error } => {
+            e.u8(1).u64(*failed_seed).str(error);
+        }
+        RunStatus::Failed { .. } | RunStatus::TimedOut { .. } => return None,
+    }
+    e.u64(o.seed);
+    let mut bytes = e.into_bytes();
+    bytes.extend_from_slice(&value_bytes);
+    Some(bytes)
+}
+
+/// Rebuild a [`PointOutcome`] from a stored payload. Verifies that the
+/// recorded seeds match what this binary would derive for the point —
+/// an entry from a different seeding scheme decodes to `None` and the
+/// point is recomputed.
+fn decode_outcome(
+    exp: &dyn Experiment,
+    point: &SweepPoint,
+    bytes: &[u8],
+) -> Option<PointOutcome> {
+    let first = point_seed(exp.name(), point.index);
+    let mut d = Dec::new(bytes);
+    let (seed, status) = match d.u8()? {
+        0 => (first, RunStatus::Completed),
+        1 => {
+            let failed_seed = d.u64()?;
+            let error = d.str()?;
+            if failed_seed != first {
+                return None;
+            }
+            (
+                runner::retry_seed(first, point.index as u32),
+                RunStatus::Recovered { failed_seed, error },
+            )
+        }
+        _ => return None,
+    };
+    if d.u64()? != seed {
+        return None;
+    }
+    let value = exp.decode_value(d.rest())?;
+    Some(PointOutcome {
+        index: point.index,
+        label: point.label.clone(),
+        seed,
+        status,
+        value: Some(value),
+        wall: Duration::ZERO,
+        journal: None,
+        restored: true,
+    })
 }
 
 /// Result of one experiment inside a campaign.
 pub struct ExperimentRun {
     /// Registry name.
     pub name: &'static str,
-    /// The finalized figures.
+    /// The finalized figures (empty when `finalize` itself failed).
     pub figures: Vec<FigureData>,
     /// Executed sweep points.
     pub points: usize,
     /// Points that failed both attempts.
     pub failed_points: usize,
+    /// Points cooperatively cancelled at their wall-clock deadline.
+    pub timed_out_points: usize,
+    /// Points restored from the result store instead of executed.
+    pub restored_points: usize,
+    /// Error text when `finalize` panicked (it runs guarded so one broken
+    /// experiment cannot take down the rest of the campaign).
+    pub finalize_error: Option<String>,
     /// Busy time: summed point execution time plus finalize. Under
     /// parallel execution this is work time, not elapsed wall time.
     pub busy: Duration,
@@ -303,41 +543,93 @@ impl ExperimentRun {
             f64::INFINITY
         }
     }
+
+    /// True when any point produced no data or `finalize` failed — the
+    /// run's figures do not cover the full plan.
+    pub fn is_partial(&self) -> bool {
+        self.failed_points > 0 || self.timed_out_points > 0 || self.finalize_error.is_some()
+    }
+}
+
+/// Chaos-harness hook: an artificial pre-point delay (milliseconds) read
+/// from `REPRO_POINT_DELAY_MS`. The kill-and-resume integration test uses
+/// it to stretch a campaign enough to SIGKILL it mid-flight; unset (the
+/// normal case) it costs one cached `Option` check per point.
+fn chaos_point_delay() -> Option<Duration> {
+    static DELAY: OnceLock<Option<Duration>> = OnceLock::new();
+    *DELAY.get_or_init(|| {
+        std::env::var("REPRO_POINT_DELAY_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_millis)
+    })
 }
 
 /// Execute one sweep point: guarded first attempt on [`point_seed`], one
 /// guarded retry on a fresh seed, structured failure otherwise. With
-/// `record` set, each attempt runs under a fresh thread-local telemetry
-/// recorder and the outcome carries the journal of the attempt it
-/// describes (the retry's journal when the first attempt failed).
+/// [`CampaignOptions::telemetry`] set, each attempt runs under a fresh
+/// thread-local telemetry recorder and the outcome carries the journal of
+/// the attempt it describes (the retry's journal when the first attempt
+/// failed). With [`CampaignOptions::timeout`] set, each attempt runs under
+/// a deadline [`CancelToken`]; a timed-out attempt is terminal
+/// ([`RunStatus::TimedOut`], no retry). With a [`StoreCtx`] bound, a
+/// resumable outcome is restored instead of executed when present, and a
+/// computed outcome is persisted before being returned.
 fn execute_point(
     exp: &dyn Experiment,
     point: &SweepPoint,
-    fidelity: Fidelity,
-    record: bool,
+    opts: &CampaignOptions,
     baselines: &BaselineCache,
+    store: Option<&StoreCtx<'_>>,
 ) -> PointOutcome {
+    let record = opts.telemetry;
+    let key = store.map(|_| point_key(exp.name(), opts.fidelity, point.index));
+    if let (Some(s), Some(key)) = (store, key.as_deref()) {
+        // Restored points carry no journal, so resume is bypassed while
+        // recording (recomputation is byte-identical by determinism).
+        if s.resume && !record {
+            if let Lookup::Hit(bytes) = s.store.get(key) {
+                if let Some(outcome) = decode_outcome(exp, point, &bytes) {
+                    return outcome;
+                }
+                // Verified entry with a stale inner layout: recompute
+                // (the fresh put below overwrites it).
+            }
+        }
+    }
+    if let Some(delay) = chaos_point_delay() {
+        std::thread::sleep(delay);
+    }
     let t0 = Instant::now();
     let seed = point_seed(exp.name(), point.index);
     let attempt = |seed: u64| {
         if record {
             telemetry::install();
         }
+        let token = opts.timeout.map(CancelToken::with_deadline);
         let ctx = PointCtx {
-            fidelity,
+            fidelity: opts.fidelity,
             seed,
             baselines,
         };
-        let res = runner::guarded(|| exp.run_point(point, &ctx));
+        let run = || runner::guarded(|| exp.run_point(point, &ctx));
+        let res = match &token {
+            Some(t) => cancel::scoped(t.clone(), run),
+            None => run(),
+        };
+        // Only a *failed* attempt counts as timed out: a value computed
+        // just as the deadline passed is still a valid measurement.
+        let timed_out = res.is_err() && token.as_ref().is_some_and(|t| t.is_cancelled());
         let journal = if record { telemetry::take() } else { None };
-        (res, journal)
+        (res, timed_out, journal)
     };
     let (seed, status, value, journal) = match attempt(seed) {
-        (Ok(v), journal) => (seed, RunStatus::Completed, Some(v), journal),
-        (Err(first_error), _) => {
+        (Ok(v), _, journal) => (seed, RunStatus::Completed, Some(v), journal),
+        (Err(error), true, journal) => (seed, RunStatus::TimedOut { error }, None, journal),
+        (Err(first_error), false, _) => {
             let fresh = runner::retry_seed(seed, point.index as u32);
             match attempt(fresh) {
-                (Ok(v), journal) => (
+                (Ok(v), _, journal) => (
                     fresh,
                     RunStatus::Recovered {
                         failed_seed: seed,
@@ -346,7 +638,10 @@ fn execute_point(
                     Some(v),
                     journal,
                 ),
-                (Err(second_error), journal) => (
+                (Err(error), true, journal) => {
+                    (fresh, RunStatus::TimedOut { error }, None, journal)
+                }
+                (Err(second_error), false, journal) => (
                     fresh,
                     RunStatus::Failed {
                         error: second_error,
@@ -357,7 +652,7 @@ fn execute_point(
             }
         }
     };
-    PointOutcome {
+    let outcome = PointOutcome {
         index: point.index,
         label: point.label.clone(),
         seed,
@@ -365,7 +660,18 @@ fn execute_point(
         value,
         wall: t0.elapsed(),
         journal,
+        restored: false,
+    };
+    if let (Some(s), Some(key)) = (store, key.as_deref()) {
+        if let Some(payload) = encode_outcome(exp, &outcome) {
+            // A failed put must not fail the point: the measurement is in
+            // hand, only its durability is lost. Surface it on stderr.
+            if let Err(e) = s.store.put(key, &payload) {
+                eprintln!("warning: result store write failed for {}: {}", key, e);
+            }
+        }
     }
+    outcome
 }
 
 /// Campaign-wide aggregates produced alongside the per-experiment runs.
@@ -394,6 +700,20 @@ pub fn run_set_with_report(
     exps: &[&dyn Experiment],
     opts: &CampaignOptions,
 ) -> (Vec<ExperimentRun>, CampaignReport) {
+    run_set_with_store(exps, opts, None)
+}
+
+/// [`run_set_with_report`] bound to a durable [`ResultStore`]: every
+/// completed point is persisted as it finishes, and with
+/// [`StoreCtx::resume`] set, previously persisted points are restored
+/// instead of recomputed. Determinism makes the two paths
+/// indistinguishable in the final figures — a resumed campaign's exports
+/// are byte-identical to an uninterrupted run's.
+pub fn run_set_with_store(
+    exps: &[&dyn Experiment],
+    opts: &CampaignOptions,
+    store: Option<StoreCtx<'_>>,
+) -> (Vec<ExperimentRun>, CampaignReport) {
     let cache = BaselineCache::new();
     let plans: Vec<Vec<SweepPoint>> = exps.iter().map(|e| e.plan(opts.fidelity)).collect();
     let tasks: Vec<(usize, usize)> = plans
@@ -417,7 +737,7 @@ pub fn run_set_with_report(
                 }
                 let (ei, pi) = tasks[t];
                 let outcome =
-                    execute_point(exps[ei], &plans[ei][pi], opts.fidelity, opts.telemetry, &cache);
+                    execute_point(exps[ei], &plans[ei][pi], opts, &cache, store.as_ref());
                 *results[ei][pi].lock().expect("result slot poisoned") = Some(outcome);
             });
         }
@@ -480,13 +800,29 @@ pub fn run_set_with_report(
                 .iter()
                 .filter(|o| matches!(o.status, RunStatus::Failed { .. }))
                 .count();
+            let timed_out = outcomes
+                .iter()
+                .filter(|o| matches!(o.status, RunStatus::TimedOut { .. }))
+                .count();
+            let restored = outcomes.iter().filter(|o| o.restored).count();
             let t0 = Instant::now();
-            let figures = exp.finalize(opts.fidelity, &outcomes);
+            // Guarded: most finalizers call `expect_value` and panic on a
+            // lost point; one partial experiment must not take down the
+            // figures of every other experiment in the campaign.
+            let (figures, finalize_error) =
+                match runner::guarded(|| Ok::<_, String>(exp.finalize(opts.fidelity, &outcomes)))
+                {
+                    Ok(figures) => (figures, None),
+                    Err(e) => (Vec::new(), Some(e)),
+                };
             ExperimentRun {
                 name: exp.name(),
                 figures,
                 points: outcomes.len(),
                 failed_points: failed,
+                timed_out_points: timed_out,
+                restored_points: restored,
+                finalize_error,
                 busy: point_time + t0.elapsed(),
                 sim: offset.saturating_sub(exp_start),
             }
@@ -536,7 +872,7 @@ pub fn run_points_with(exp: &dyn Experiment, opts: &CampaignOptions) -> Vec<Poin
     let cache = BaselineCache::new();
     exp.plan(opts.fidelity)
         .iter()
-        .map(|p| execute_point(exp, p, opts.fidelity, opts.telemetry, &cache))
+        .map(|p| execute_point(exp, p, opts, &cache, None))
         .collect()
 }
 
@@ -614,6 +950,248 @@ mod tests {
         }
     }
 
+    /// A durable Doubler: same sweep, plus a value codec so points can be
+    /// restored from a store.
+    struct DurableDoubler;
+
+    impl Experiment for DurableDoubler {
+        fn name(&self) -> &'static str {
+            "durable_doubler"
+        }
+        fn anchor(&self) -> &'static str {
+            "test"
+        }
+        fn plan(&self, _f: Fidelity) -> Vec<SweepPoint> {
+            (0..4).map(|i| SweepPoint::new(i, format!("x={}", i))).collect()
+        }
+        fn run_point(&self, point: &SweepPoint, ctx: &PointCtx<'_>) -> Result<PointValue, String> {
+            if point.index == 1 && ctx.seed == point_seed("durable_doubler", 1) {
+                panic!("flaky first attempt");
+            }
+            Ok(Box::new(point.index * 2))
+        }
+        fn finalize(&self, _f: Fidelity, points: &[PointOutcome]) -> Vec<FigureData> {
+            for p in points {
+                assert_eq!(*expect_value::<usize>(points, p.index), p.index * 2);
+            }
+            Vec::new()
+        }
+        fn encode_value(&self, value: &PointValue) -> Option<Vec<u8>> {
+            let v = value.downcast_ref::<usize>()?;
+            let mut e = Enc::new();
+            e.usize(*v);
+            Some(e.into_bytes())
+        }
+        fn decode_value(&self, bytes: &[u8]) -> Option<PointValue> {
+            let mut d = Dec::new(bytes);
+            let v = d.usize()?;
+            d.finish(Box::new(v) as PointValue)
+        }
+    }
+
+    /// An experiment whose simulation wedges (timer storm) on selected
+    /// attempts, driven purely by the seed — deterministic under replay.
+    struct Wedger {
+        /// Wedge whenever the attempt seed is NOT the first-attempt seed
+        /// (i.e. the retry wedges) when true; wedge on the first attempt
+        /// when false.
+        wedge_on_retry: bool,
+    }
+
+    impl Experiment for Wedger {
+        fn name(&self) -> &'static str {
+            "wedger"
+        }
+        fn anchor(&self) -> &'static str {
+            "test"
+        }
+        fn plan(&self, _f: Fidelity) -> Vec<SweepPoint> {
+            vec![SweepPoint::new(0, "the wedge".to_string())]
+        }
+        fn run_point(&self, point: &SweepPoint, ctx: &PointCtx<'_>) -> Result<PointValue, String> {
+            let first = ctx.seed == point_seed("wedger", point.index);
+            if first && self.wedge_on_retry {
+                // First attempt fails fast (a plain panic), retry wedges.
+                panic!("flaky first attempt");
+            }
+            if first || self.wedge_on_retry {
+                // Timer storm: never quiesces; only cancellation stops it.
+                let mut e = simcore::Engine::new();
+                e.after(SimTime::PS, 1);
+                e.try_run(|eng, _| {
+                    eng.after(SimTime::PS, 1);
+                })
+                .map_err(|err| err.to_string())?;
+                unreachable!("the storm never runs dry");
+            }
+            Ok(Box::new(0usize))
+        }
+        fn finalize(&self, _f: Fidelity, _points: &[PointOutcome]) -> Vec<FigureData> {
+            Vec::new()
+        }
+    }
+
+    fn test_store(tag: &str) -> crate::store::ResultStore {
+        let dir = std::env::temp_dir().join(format!(
+            "ifcampaign-test-{}-{}",
+            tag,
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        crate::store::ResultStore::open(dir).expect("open test store")
+    }
+
+    #[test]
+    fn first_attempt_timeout_is_terminal() {
+        let opts = CampaignOptions::serial(Fidelity::Quick)
+            .with_timeout(Some(Duration::from_millis(30)));
+        let outcomes = run_points_with(&Wedger { wedge_on_retry: false }, &opts);
+        assert_eq!(outcomes.len(), 1);
+        match &outcomes[0].status {
+            RunStatus::TimedOut { error } => {
+                assert!(error.contains("cancelled"), "{}", error);
+                assert!(error.contains("deadline"), "{}", error);
+            }
+            s => panic!("expected TimedOut, got {:?}", s),
+        }
+        // Terminal: the seed is still the first-attempt seed (no retry ran).
+        assert_eq!(outcomes[0].seed, point_seed("wedger", 0));
+        assert_eq!(outcomes[0].status.label(), "timeout");
+    }
+
+    #[test]
+    fn panic_then_wedged_retry_records_timeout_deterministically() {
+        // The satellite scenario: attempt 1 panics (retried), attempt 2
+        // wedges and is cancelled at the deadline → TimedOut, replayable.
+        let opts = CampaignOptions::serial(Fidelity::Quick)
+            .with_timeout(Some(Duration::from_millis(30)));
+        let run_once = || {
+            let outcomes = run_points_with(&Wedger { wedge_on_retry: true }, &opts);
+            let o = &outcomes[0];
+            (o.seed, o.status.label(), o.status.error().map(str::to_owned))
+        };
+        let (seed_a, label_a, _) = run_once();
+        let (seed_b, label_b, _) = run_once();
+        assert_eq!(label_a, "timeout");
+        // Deterministic replay: same final seed (the retry seed), same
+        // classification, both runs.
+        assert_eq!((seed_a, label_a), (seed_b, label_b));
+        assert_eq!(seed_a, runner::retry_seed(point_seed("wedger", 0), 0));
+        // And the campaign marks the experiment partial.
+        let run = run_set_with_store(&[&Wedger { wedge_on_retry: true }], &opts, None)
+            .0
+            .pop()
+            .unwrap();
+        assert_eq!(run.timed_out_points, 1);
+        assert!(run.is_partial());
+    }
+
+    #[test]
+    fn store_roundtrip_restores_points_and_outcome_metadata() {
+        let store = test_store("roundtrip");
+        let opts = CampaignOptions::serial(Fidelity::Quick);
+        // First run computes and persists all 4 points (incl. the
+        // recovered one).
+        let ctx = StoreCtx { store: &store, resume: true };
+        let (runs, _) = run_set_with_store(&[&DurableDoubler], &opts, Some(ctx));
+        assert_eq!(runs[0].restored_points, 0);
+        assert_eq!(store.stats().persisted, 4);
+        // Second run restores every point: no recompute, same statuses.
+        let (runs2, _) = run_set_with_store(&[&DurableDoubler], &opts, Some(ctx));
+        assert_eq!(runs2[0].restored_points, 4);
+        assert_eq!(runs2[0].failed_points, 0);
+        // The recovered point's status survives the roundtrip (it would
+        // re-panic if actually re-executed with the first-attempt seed,
+        // so Recovered proves restoration).
+        let outcomes = {
+            let cache = BaselineCache::new();
+            DurableDoubler
+                .plan(opts.fidelity)
+                .iter()
+                .map(|p| execute_point(&DurableDoubler, p, &opts, &cache, Some(&ctx)))
+                .collect::<Vec<_>>()
+        };
+        match &outcomes[1].status {
+            RunStatus::Recovered { failed_seed, error } => {
+                assert_eq!(*failed_seed, point_seed("durable_doubler", 1));
+                assert!(error.contains("flaky"), "{}", error);
+            }
+            s => panic!("expected restored Recovered, got {:?}", s),
+        }
+        assert!(outcomes[1].restored);
+        assert_eq!(outcomes[1].wall, Duration::ZERO);
+    }
+
+    #[test]
+    fn corrupt_store_entry_is_recomputed_not_served() {
+        let store = test_store("corrupt");
+        let opts = CampaignOptions::serial(Fidelity::Quick);
+        let ctx = StoreCtx { store: &store, resume: true };
+        run_set_with_store(&[&DurableDoubler], &opts, Some(ctx));
+        // Flip a bit in one entry's payload region.
+        let key = point_key("durable_doubler", Fidelity::Quick, 2);
+        crate::store::chaos::corrupt_entry(
+            &store,
+            &key,
+            crate::store::chaos::Fault::BitFlip { offset: 40, bit: 4 },
+        );
+        let (runs, _) = run_set_with_store(&[&DurableDoubler], &opts, Some(ctx));
+        // 3 restored, 1 quarantined + recomputed; nothing failed.
+        assert_eq!(runs[0].restored_points, 3);
+        assert_eq!(runs[0].failed_points, 0);
+        assert_eq!(store.stats().quarantined, 1);
+        // The recomputed entry is durable again.
+        let (runs2, _) = run_set_with_store(&[&DurableDoubler], &opts, Some(ctx));
+        assert_eq!(runs2[0].restored_points, 4);
+    }
+
+    #[test]
+    fn undurable_experiment_recomputes_on_resume() {
+        let store = test_store("undurable");
+        let opts = CampaignOptions::serial(Fidelity::Quick);
+        let ctx = StoreCtx { store: &store, resume: true };
+        let (runs, _) = run_set_with_store(&[&Doubler], &opts, Some(ctx));
+        assert_eq!(runs[0].points, 6);
+        // Doubler has no codec: nothing persisted, nothing restored.
+        assert_eq!(store.stats().persisted, 0);
+        let (runs2, _) = run_set_with_store(&[&Doubler], &opts, Some(ctx));
+        assert_eq!(runs2[0].restored_points, 0);
+        assert_eq!(runs2[0].points, 6);
+    }
+
+    #[test]
+    fn finalize_panic_is_contained() {
+        struct BrokenFinalize;
+        impl Experiment for BrokenFinalize {
+            fn name(&self) -> &'static str {
+                "broken_finalize"
+            }
+            fn anchor(&self) -> &'static str {
+                "test"
+            }
+            fn plan(&self, _f: Fidelity) -> Vec<SweepPoint> {
+                vec![SweepPoint::new(0, "p".to_string())]
+            }
+            fn run_point(
+                &self,
+                _point: &SweepPoint,
+                _ctx: &PointCtx<'_>,
+            ) -> Result<PointValue, String> {
+                Ok(Box::new(()))
+            }
+            fn finalize(&self, _f: Fidelity, _points: &[PointOutcome]) -> Vec<FigureData> {
+                panic!("finalize exploded");
+            }
+        }
+        let opts = CampaignOptions::serial(Fidelity::Quick);
+        let runs = run_set(&[&BrokenFinalize, &Doubler], &opts);
+        assert_eq!(runs.len(), 2, "the healthy experiment still finalized");
+        assert!(runs[0].finalize_error.as_deref().unwrap().contains("exploded"));
+        assert!(runs[0].figures.is_empty());
+        assert!(runs[0].is_partial());
+        assert!(runs[1].finalize_error.is_none());
+    }
+
     #[test]
     fn baseline_cache_computes_once_per_key() {
         let cache = BaselineCache::new();
@@ -628,5 +1206,85 @@ mod tests {
         assert_eq!(calls, 1);
         assert_eq!(cache.len(), 1);
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn baseline_cache_never_memoizes_errors() {
+        let cache = BaselineCache::new();
+        let r: Result<Arc<u64>, String> =
+            cache.get_or_compute_result("k", |_| Err("transient".into()));
+        assert_eq!(r.unwrap_err(), "transient");
+        // The error was not cached: the next requester computes afresh.
+        let v = cache
+            .get_or_compute_result("k", |seed| Ok(seed))
+            .expect("retry succeeds");
+        assert_eq!(*v, baseline_seed("k"));
+        // …and the success IS memoized.
+        let again: Arc<u64> = cache
+            .get_or_compute_result("k", |_| Err("must not recompute".into()))
+            .expect("memoized");
+        assert_eq!(*again, *v);
+        assert_eq!(cache.computed(), 2, "one failed + one successful compute");
+    }
+
+    #[test]
+    fn baseline_cache_recovers_from_a_panicked_compute() {
+        let cache = BaselineCache::new();
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_compute::<u64, _>("k", |_| panic!("compute exploded"))
+        }));
+        assert!(panicked.is_err());
+        // The slot reverted to empty: a later requester computes cleanly.
+        let v = cache.get_or_compute("k", |seed| seed);
+        assert_eq!(*v, baseline_seed("k"));
+    }
+
+    /// Sweep points that all share one memoized baseline whose compute
+    /// wedges forever — only a deadline stops it.
+    struct SharedWedgedBaseline;
+
+    impl Experiment for SharedWedgedBaseline {
+        fn name(&self) -> &'static str {
+            "shared_wedged_baseline"
+        }
+        fn anchor(&self) -> &'static str {
+            "test"
+        }
+        fn plan(&self, _f: Fidelity) -> Vec<SweepPoint> {
+            (0..3).map(|i| SweepPoint::new(i, format!("x={}", i))).collect()
+        }
+        fn run_point(&self, _point: &SweepPoint, ctx: &PointCtx<'_>) -> Result<PointValue, String> {
+            let v: Arc<u64> = ctx.baselines.get_or_compute_result("wedged-baseline", |_| {
+                let mut e = simcore::Engine::new();
+                e.after(SimTime::PS, 1);
+                e.try_run(|eng, _| {
+                    eng.after(SimTime::PS, 1);
+                })
+                .map_err(|err| err.to_string())?;
+                unreachable!("the storm never runs dry");
+            })?;
+            Ok(Box::new(*v))
+        }
+        fn finalize(&self, _f: Fidelity, _points: &[PointOutcome]) -> Vec<FigureData> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn cancelled_baseline_does_not_poison_later_points() {
+        // Every point's own deadline cancels its own baseline attempt: all
+        // points classify as TimedOut. Before errors were un-memoized, the
+        // first cancellation was served from the cache to every later
+        // point, which then (wrongly) recorded Failed — and in a long
+        // campaign one transient timeout would poison the whole key.
+        let opts = CampaignOptions::serial(Fidelity::Quick)
+            .with_timeout(Some(Duration::from_millis(20)));
+        let run = run_set_with_store(&[&SharedWedgedBaseline], &opts, None)
+            .0
+            .pop()
+            .unwrap();
+        assert_eq!(run.points, 3);
+        assert_eq!(run.timed_out_points, 3, "every point timed out on its own");
+        assert_eq!(run.failed_points, 0, "no point inherited a cached error");
     }
 }

@@ -20,6 +20,7 @@ use mpisim::pingpong::PingPongConfig;
 use topology::{BindingPolicy, MachineSpec, Placement};
 
 use crate::campaign::PointCtx;
+use crate::codec::{Dec, Enc};
 use crate::experiments::Fidelity;
 use crate::protocol::{self, ProtocolConfig, RepMetrics, StepMask, StepResults};
 
@@ -88,6 +89,30 @@ pub struct ContentionPoint {
     pub stream_together: Vec<f64>,
 }
 
+impl ContentionPoint {
+    /// Exact-bits serialization for the result store (see [`crate::codec`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.f64s(&self.comm_alone)
+            .f64s(&self.comm_together)
+            .f64s(&self.stream_alone)
+            .f64s(&self.stream_together);
+        e.into_bytes()
+    }
+
+    /// Inverse of [`ContentionPoint::encode`]; `None` on any malformation.
+    pub fn decode(bytes: &[u8]) -> Option<ContentionPoint> {
+        let mut d = Dec::new(bytes);
+        let p = ContentionPoint {
+            comm_alone: d.f64s()?,
+            comm_together: d.f64s()?,
+            stream_alone: d.f64s()?,
+            stream_together: d.f64s()?,
+        };
+        d.finish(p)
+    }
+}
+
 /// The STREAM NUMA node implied by a placement's data policy.
 pub fn data_numa(machine: &MachineSpec, placement: Placement) -> topology::NumaId {
     match placement.data {
@@ -135,8 +160,11 @@ pub fn measure(
         metric.tag(),
         cores
     );
-    let cached: std::sync::Arc<Result<ContentionPoint, String>> =
-        ctx.baselines.get_or_compute(&point_key, |seed| {
+    // Errors are deliberately not memoized (see
+    // `BaselineCache::get_or_compute_result`): a cancelled or failed
+    // baseline must not be served to every later point sharing the key.
+    let cached: std::sync::Arc<ContentionPoint> =
+        ctx.baselines.get_or_compute_result(&point_key, |seed| {
             // The communication-alone step is core-count independent:
             // memoize it once per (machine, placement, metric).
             let comm_key = format!(
@@ -145,8 +173,8 @@ pub fn measure(
                 placement_label,
                 metric.tag()
             );
-            let comm: std::sync::Arc<Result<StepResults, String>> =
-                ctx.baselines.get_or_compute(&comm_key, |comm_seed| {
+            let comm: std::sync::Arc<StepResults> =
+                ctx.baselines.get_or_compute_result(&comm_key, |comm_seed| {
                     let cfg = base_config(machine, placement, metric, cores, fidelity, comm_seed);
                     protocol::try_run_masked(
                         &cfg,
@@ -154,11 +182,7 @@ pub fn measure(
                         StepMask::COMM_ALONE,
                     )
                     .map_err(|e| e.to_string())
-                });
-            let comm = match comm.as_ref() {
-                Ok(r) => r,
-                Err(e) => return Err(e.clone()),
-            };
+                })?;
             let cfg = base_config(machine, placement, metric, cores, fidelity, seed);
             let fresh = protocol::try_run_masked(
                 &cfg,
@@ -172,8 +196,8 @@ pub fn measure(
                 stream_alone: fresh.compute_bw_alone(),
                 stream_together: fresh.compute_bw_together(),
             })
-        });
-    (*cached).clone()
+        })?;
+    Ok((*cached).clone())
 }
 
 /// The four series of one contention plot, named as in Figures 4/5.

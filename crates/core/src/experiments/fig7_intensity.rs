@@ -17,6 +17,7 @@ use simcore::Series;
 use topology::{henri, Placement};
 
 use crate::campaign::{self, expect_value, Experiment, PointCtx, PointValue, SweepPoint};
+use crate::codec::{Dec, Enc};
 use crate::experiments::Fidelity;
 use crate::paper;
 use crate::protocol::{self, ProtocolConfig, StepMask, StepResults};
@@ -72,8 +73,10 @@ fn comm_alone(
     pingpong: PingPongConfig,
 ) -> Result<StepResults, String> {
     let key = format!("fig7/comm-alone/{}", tag);
-    let cached: std::sync::Arc<Result<StepResults, String>> =
-        ctx.baselines.get_or_compute(&key, |seed| {
+    // Errors are not memoized: a cancelled baseline must not poison every
+    // later cursor point sharing this key.
+    let cached: std::sync::Arc<StepResults> =
+        ctx.baselines.get_or_compute_result(&key, |seed| {
             let cfg = base_config(cursor_sweep()[0], pingpong, ctx.fidelity, seed);
             protocol::try_run_masked(
                 &cfg,
@@ -81,8 +84,8 @@ fn comm_alone(
                 StepMask::COMM_ALONE,
             )
             .map_err(|e| e.to_string())
-        });
-    (*cached).clone()
+        })?;
+    Ok((*cached).clone())
 }
 
 /// Registry driver for Figure 7 (sweep: {latency, bandwidth} × cursors).
@@ -162,6 +165,42 @@ impl Experiment for Fig7 {
                 t_alone,
                 t_together,
             }))
+        }
+    }
+
+    fn encode_value(&self, value: &PointValue) -> Option<Vec<u8>> {
+        let mut e = Enc::new();
+        if let Some(p) = value.downcast_ref::<LatOut>() {
+            e.u8(0).f64s(&p.alone).f64s(&p.together);
+        } else if let Some(p) = value.downcast_ref::<BwOut>() {
+            e.u8(1)
+                .f64s(&p.alone)
+                .f64s(&p.together)
+                .f64s(&p.t_alone)
+                .f64s(&p.t_together);
+        } else {
+            return None;
+        }
+        Some(e.into_bytes())
+    }
+
+    fn decode_value(&self, bytes: &[u8]) -> Option<PointValue> {
+        let mut d = Dec::new(bytes);
+        match d.u8()? {
+            0 => {
+                let p = LatOut { alone: d.f64s()?, together: d.f64s()? };
+                d.finish(Box::new(p) as PointValue)
+            }
+            1 => {
+                let p = BwOut {
+                    alone: d.f64s()?,
+                    together: d.f64s()?,
+                    t_alone: d.f64s()?,
+                    t_together: d.f64s()?,
+                };
+                d.finish(Box::new(p) as PointValue)
+            }
+            _ => None,
         }
     }
 

@@ -14,7 +14,10 @@
 //!   reference findings and automated qualitative checks;
 //! * [`campaign`] — the declarative campaign engine: sweep plans,
 //!   deterministic per-point seeding, a worker pool, per-point
-//!   crash-proofing and baseline memoization;
+//!   crash-proofing, timeouts and baseline memoization;
+//! * [`store`] — the content-addressed on-disk result store behind
+//!   `repro --store/--resume`: atomic writes, checksummed entries,
+//!   corruption quarantine;
 //! * [`report`] — ASCII rendering and CSV export of figure data;
 //! * [`paper`] — the reference values extracted from the paper's text.
 //!
@@ -27,13 +30,16 @@
 #![allow(clippy::unusual_byte_groupings)]
 
 pub mod campaign;
+pub mod codec;
 pub mod experiments;
 pub mod paper;
 pub mod protocol;
 pub mod report;
 pub mod results;
 pub mod runner;
+pub mod store;
 
 pub use protocol::{ProtocolConfig, ProtocolError, RepMetrics, StepResults};
 pub use report::{Check, FigureData, RunOutcome};
 pub use runner::{run_campaign, Campaign, RunRecord, RunStatus};
+pub use store::{atomic_write, Lookup, ResultStore, StoreStats};

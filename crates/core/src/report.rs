@@ -79,10 +79,13 @@ impl FigureData {
         self.checks.iter().all(|c| c.pass)
     }
 
-    /// True when at least one recorded repetition failed permanently — the
-    /// figure's bands were computed from the surviving reps only.
+    /// True when at least one recorded repetition failed permanently or
+    /// timed out — the figure's bands were computed from the surviving
+    /// reps only.
     pub fn is_partial(&self) -> bool {
-        self.runs.iter().any(|r| r.status == "failed")
+        self.runs
+            .iter()
+            .any(|r| r.status == "failed" || r.status == "timeout")
     }
 
     /// Render as an ASCII report block.

@@ -38,15 +38,26 @@ pub enum RunStatus {
         /// Error text of the last attempt.
         error: String,
     },
+    /// The attempt blew its wall-clock deadline and was cooperatively
+    /// cancelled (see [`simcore::cancel`]). Terminal: a timed-out attempt
+    /// is not retried — the retry would spend the same budget wedging the
+    /// same way, doubling the campaign's worst-case wall time.
+    TimedOut {
+        /// Error text of the cancelled attempt (names the deadline and the
+        /// engine's stall diagnostic).
+        error: String,
+    },
 }
 
 impl RunStatus {
-    /// Short status label used in exports ("ok" / "recovered" / "failed").
+    /// Short status label used in exports
+    /// ("ok" / "recovered" / "failed" / "timeout").
     pub fn label(&self) -> &'static str {
         match self {
             RunStatus::Completed => "ok",
             RunStatus::Recovered { .. } => "recovered",
             RunStatus::Failed { .. } => "failed",
+            RunStatus::TimedOut { .. } => "timeout",
         }
     }
 
@@ -54,8 +65,15 @@ impl RunStatus {
     pub fn error(&self) -> Option<&str> {
         match self {
             RunStatus::Completed => None,
-            RunStatus::Recovered { error, .. } | RunStatus::Failed { error } => Some(error),
+            RunStatus::Recovered { error, .. }
+            | RunStatus::Failed { error }
+            | RunStatus::TimedOut { error } => Some(error),
         }
+    }
+
+    /// True when the repetition produced no data (failed or timed out).
+    pub fn is_lost(&self) -> bool {
+        matches!(self, RunStatus::Failed { .. } | RunStatus::TimedOut { .. })
     }
 }
 
@@ -97,10 +115,7 @@ pub struct Campaign<R> {
 impl<R> Campaign<R> {
     /// Number of repetitions that produced no data.
     pub fn failed(&self) -> usize {
-        self.records
-            .iter()
-            .filter(|r| matches!(r.status, RunStatus::Failed { .. }))
-            .count()
+        self.records.iter().filter(|r| r.status.is_lost()).count()
     }
 
     /// True when at least one rep failed permanently (the campaign's

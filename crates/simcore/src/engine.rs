@@ -11,6 +11,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
 
+use crate::cancel::{self, CancelToken};
 use crate::fluid::{FlowId, FlowReport, FlowSpec, FluidNet, ResourceId};
 use crate::telemetry::{self, Lane};
 use crate::time::SimTime;
@@ -113,6 +114,18 @@ pub enum EngineError {
         /// What was still outstanding when the budget tripped.
         diagnostic: StallDiagnostic,
     },
+    /// The run's [`CancelToken`] tripped (explicit cancellation or an
+    /// expired wall-clock deadline): a supervisor asked the simulation to
+    /// stop. Unlike the other variants this is not a model defect — the
+    /// engine state is intact, merely abandoned.
+    Cancelled {
+        /// True when the tripped token carried a wall-clock deadline —
+        /// i.e. this is (or at least could be) a timeout rather than a
+        /// plain [`CancelToken::cancel`].
+        deadline: bool,
+        /// What was still outstanding when cancellation was observed.
+        diagnostic: StallDiagnostic,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -125,6 +138,16 @@ impl fmt::Display for EngineError {
                 f,
                 "simulated-time budget of {:.6}s exceeded ({})",
                 budget.as_secs_f64(),
+                diagnostic
+            ),
+            EngineError::Cancelled { deadline, diagnostic } => write!(
+                f,
+                "run cancelled ({}; {})",
+                if *deadline {
+                    "wall-clock deadline exceeded"
+                } else {
+                    "token cancelled"
+                },
                 diagnostic
             ),
         }
@@ -150,6 +173,12 @@ pub struct Engine {
     pending: Vec<Event>,
     /// Optional watchdog: `try_next` refuses to advance past this instant.
     budget: Option<SimTime>,
+    /// Cooperative cancellation token, adopted from the ambient
+    /// [`cancel`] installation at construction (or set explicitly).
+    cancel: Option<CancelToken>,
+    /// Events delivered since the last wall-clock deadline check; the
+    /// token flag itself is checked on every event.
+    cancel_stride: u64,
 }
 
 impl Engine {
@@ -164,6 +193,8 @@ impl Engine {
             seq: 0,
             pending: Vec::new(),
             budget: None,
+            cancel: cancel::current(),
+            cancel_stride: 0,
         }
     }
 
@@ -293,6 +324,37 @@ impl Engine {
         self.budget
     }
 
+    /// Attach (or with `None` detach) a cooperative cancellation token.
+    /// Engines adopt the ambient [`cancel::current`] token at construction;
+    /// this overrides it for hand-built engines and tests.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+        self.cancel_stride = 0;
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Poll the cancellation token: the tripped flag on every call, the
+    /// wall clock only every [`cancel::DEADLINE_CHECK_STRIDE`] calls (the
+    /// flag is an atomic load; the clock is a syscall).
+    fn cancelled(&mut self) -> Option<bool> {
+        let tok = self.cancel.as_ref()?;
+        if tok.is_cancelled() {
+            return Some(tok.has_deadline());
+        }
+        self.cancel_stride += 1;
+        if self.cancel_stride >= cancel::DEADLINE_CHECK_STRIDE {
+            self.cancel_stride = 0;
+            if tok.check() {
+                return Some(tok.has_deadline());
+            }
+        }
+        None
+    }
+
     /// Snapshot of everything still outstanding (for error reporting).
     pub fn stall_diagnostic(&self) -> StallDiagnostic {
         let pending_timer_tags = self
@@ -330,6 +392,16 @@ impl Engine {
     /// untouched on error, so callers can raise the budget and retry.
     pub fn try_next(&mut self) -> Result<Option<Event>, EngineError> {
         loop {
+            // Cooperative cancellation: checked once per loop iteration so
+            // both event delivery and the no-completion `continue` path
+            // (capacity-change storms) observe a tripped token promptly.
+            if let Some(deadline) = self.cancelled() {
+                telemetry::instant(self.now, "engine", "cancelled", Lane::Engine);
+                return Err(EngineError::Cancelled {
+                    deadline,
+                    diagnostic: self.stall_diagnostic(),
+                });
+            }
             if let Some(ev) = self.pending.pop() {
                 telemetry::counter_add("engine.events", 1);
                 return Ok(Some(ev));
@@ -719,6 +791,79 @@ mod tests {
         let err = e.try_run(|_, ev| seen.push(ev.tag())).unwrap_err();
         assert_eq!(seen, vec![7]);
         assert!(matches!(err, EngineError::Stalled(_)));
+    }
+
+    /// A simulation that never quiesces: every fired timer schedules the
+    /// next one. Without cancellation this loops until process death.
+    fn wedge_forever(e: &mut Engine) -> Result<(), EngineError> {
+        e.after(SimTime::PS, 1);
+        loop {
+            match e.try_next()? {
+                Some(_) => {
+                    e.after(SimTime::PS, 1);
+                }
+                None => unreachable!("the timer storm never runs dry"),
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_token_stops_a_timer_storm() {
+        let tok = CancelToken::new();
+        let mut e = Engine::new();
+        e.set_cancel_token(Some(tok.clone()));
+        tok.cancel();
+        let err = wedge_forever(&mut e).expect_err("must stop");
+        match err {
+            EngineError::Cancelled { deadline, diagnostic } => {
+                assert!(!deadline, "explicit cancel, no deadline armed");
+                // The storm's next timer is still outstanding.
+                assert_eq!(diagnostic.pending_timer_tags, vec![1]);
+            }
+            other => panic!("expected Cancelled, got {:?}", other),
+        }
+        // The error is stable on re-poll, like a stall.
+        assert!(matches!(e.try_next(), Err(EngineError::Cancelled { .. })));
+    }
+
+    #[test]
+    fn deadline_token_times_out_a_timer_storm() {
+        let mut e = Engine::new();
+        e.set_cancel_token(Some(CancelToken::with_deadline(
+            std::time::Duration::from_millis(20),
+        )));
+        let err = wedge_forever(&mut e).expect_err("deadline must trip");
+        match err {
+            EngineError::Cancelled { deadline, .. } => assert!(deadline),
+            other => panic!("expected Cancelled, got {:?}", other),
+        }
+        let msg = e.try_next().unwrap_err().to_string();
+        assert!(msg.contains("deadline"), "{}", msg);
+    }
+
+    #[test]
+    fn ambient_token_is_adopted_at_construction() {
+        let tok = CancelToken::new();
+        let e = crate::cancel::scoped(tok.clone(), Engine::new);
+        assert!(e.cancel_token().is_some(), "engine adopted ambient token");
+        // Outside the scope, fresh engines carry no token.
+        let plain = Engine::new();
+        assert!(plain.cancel_token().is_none());
+        // The adopted token is the same shared state.
+        tok.cancel();
+        assert!(e.cancel_token().unwrap().is_cancelled());
+    }
+
+    #[test]
+    fn healthy_run_ignores_an_armed_token() {
+        let tok = CancelToken::with_deadline(std::time::Duration::from_secs(3600));
+        let mut e = Engine::new();
+        e.set_cancel_token(Some(tok));
+        e.after(SimTime::SEC, 1);
+        e.after(SimTime::SEC * 2, 2);
+        let mut seen = Vec::new();
+        e.run(|_, ev| seen.push(ev.tag()));
+        assert_eq!(seen, vec![1, 2]);
     }
 
     #[test]

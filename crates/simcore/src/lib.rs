@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)]
 
+pub mod cancel;
 pub mod engine;
 pub mod faults;
 pub mod fluid;
@@ -26,6 +27,7 @@ pub mod telemetry;
 pub mod time;
 pub mod trace;
 
+pub use cancel::CancelToken;
 pub use engine::{Engine, EngineError, Event, StallDiagnostic, TimerId};
 pub use faults::{FaultPlan, FaultPlanError, LinkDegradation, NicStall, StragglerCore};
 pub use fluid::{FlowId, FlowReport, FlowSpec, FluidNet, ReallocStats, ResourceId};

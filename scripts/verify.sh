@@ -16,6 +16,17 @@ cargo clippy --workspace -- -D warnings
 echo "==> repro smoke: one figure through the parallel campaign engine"
 cargo run --release -p bench --bin repro -- --quick --only fig1 --jobs 2
 
+echo "==> repro smoke: store + resume round-trip is byte-identical"
+# First run persists every point; second run must restore them all and
+# export the same bytes (crash-consistency, DESIGN.md §12).
+store_dir="$(mktemp -d)"
+trap 'rm -rf "$store_dir"' EXIT
+cargo run --release -p bench --bin repro -- --quick --only fig4 \
+  --store "$store_dir/store" --json "$store_dir/a.json"
+cargo run --release -p bench --bin repro -- --quick --only fig4 \
+  --store "$store_dir/store" --resume --json "$store_dir/b.json"
+cmp "$store_dir/a.json" "$store_dir/b.json"
+
 echo "==> model validation: oracles, metamorphic invariants, differential fuzz"
 # Exits non-zero if any oracle check fails (repro gates on failed checks).
 cargo run --release -p bench --bin repro -- --quick --validate --fuzz-budget 60 --jobs 2
