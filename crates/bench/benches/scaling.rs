@@ -1,0 +1,244 @@
+//! Engine scaling benchmark: events/sec and flows/sec vs synthetic node
+//! count.
+//!
+//! Builds a contention scenario shaped like the paper's cluster runs: nodes
+//! in racks of 8 behind a shared rack switch, all racks meeting at an
+//! oversubscribed fabric resource, every node streaming rounds of transfers
+//! to a far peer while per-node poll timers churn (schedule + cancel a
+//! watchdog on every poll — the tombstone traffic the timing wheel absorbs).
+//! The workload scales resources, flows and timers linearly with the node
+//! count, so throughput here tracks the simulation core: timer queue,
+//! same-instant batching and the component solver together.
+//!
+//! Per Hunold & Carpen-Amarie ("Reproducible MPI benchmarking"), every
+//! configuration runs `SCALING_REPS` repetitions and the report keeps all
+//! of them plus median and relative spread — a single hot number hides
+//! exactly the variance that makes wall-clock claims irreproducible.
+//!
+//! Environment knobs (all optional):
+//!   SCALING_NODES               comma list of node counts (default 64,256,1024)
+//!   SCALING_REPS                repetitions per size (default 5)
+//!   SCALING_ROUNDS              transfer rounds per node (default 4)
+//!   SCALING_FLOOR_EVENTS_PER_SEC  exit 1 if any size's median falls below
+//!   SCALING_OUT                 write the JSON table to this path
+//!
+//! Run with: `cargo bench -p bench --features bench-harness --bench scaling`
+
+use std::time::Instant;
+
+use simcore::{Engine, Event, FlowSpec, Pcg32, SimTime, TimerId};
+
+/// Tag namespaces: flow tags are bare node indices.
+const TAG_POLL: u64 = 1 << 32;
+const TAG_WATCHDOG: u64 = 1 << 33;
+
+/// Poll cadence per node (10 µs of simulated time).
+const POLL_PS: u64 = 10_000_000;
+/// Watchdog horizon per poll (1 ms; usually cancelled long before firing).
+const WATCHDOG_PS: u64 = 1_000_000_000;
+
+struct RunResult {
+    wall_s: f64,
+    events: u64,
+    flow_events: u64,
+    sim_end: SimTime,
+}
+
+/// One full scenario at `nodes` nodes: every node pushes `rounds` transfers
+/// across nic → rack → fabric → rack → nic while polling; runs to
+/// quiescence and reports wall time plus event counts.
+fn run_scenario(nodes: usize, rounds: u64) -> RunResult {
+    let mut eng = Engine::new();
+    let fabric = eng.add_resource("fabric", (nodes as f64 / 16.0).max(1.0) * 12.5e9);
+    let n_racks = nodes.div_ceil(8);
+    let racks: Vec<_> = (0..n_racks)
+        .map(|r| eng.add_resource(format!("rack{}", r), 100e9))
+        .collect();
+    let nics: Vec<_> = (0..nodes)
+        .map(|i| eng.add_resource(format!("nic{}", i), 12.5e9))
+        .collect();
+
+    let mut rng = Pcg32::new(nodes as u64, 0x5ca1_ab1e);
+    let start_transfer = |eng: &mut Engine, rng: &mut Pcg32, node: usize| {
+        let dst = (node + nodes / 2 + 1) % nodes;
+        eng.start_flow(FlowSpec {
+            path: vec![
+                nics[node],
+                racks[node / 8],
+                fabric,
+                racks[dst / 8],
+                nics[dst],
+            ],
+            volume: 4e5 * (1.0 + rng.next_f64()),
+            weight: 1.0,
+            cap: None,
+            tag: node as u64,
+        });
+    };
+
+    let mut remaining: Vec<u64> = vec![rounds; nodes];
+    let mut watchdog: Vec<Option<TimerId>> = vec![None; nodes];
+    for (node, slot) in watchdog.iter_mut().enumerate() {
+        start_transfer(&mut eng, &mut rng, node);
+        // Staggered first poll so instants mix bursts with lone timers.
+        let jitter = rng.below(1 + (POLL_PS / 2) as u32) as u64;
+        eng.after(SimTime(POLL_PS + jitter), TAG_POLL + node as u64);
+        *slot = Some(eng.after(SimTime(WATCHDOG_PS), TAG_WATCHDOG + node as u64));
+    }
+
+    let mut events = 0u64;
+    let mut flow_events = 0u64;
+    let wall = Instant::now();
+    eng.run(|eng, event| {
+        events += 1;
+        match event {
+            Event::Flow { tag, .. } => {
+                flow_events += 1;
+                let node = tag as usize;
+                remaining[node] -= 1;
+                if remaining[node] > 0 {
+                    start_transfer(eng, &mut rng, node);
+                } else if let Some(id) = watchdog[node].take() {
+                    eng.cancel_timer(id);
+                }
+            }
+            Event::Timer { tag } if tag >= TAG_WATCHDOG => {
+                // A watchdog survived a full horizon (heavy contention);
+                // the poll path re-arms it.
+                watchdog[(tag - TAG_WATCHDOG) as usize] = None;
+            }
+            Event::Timer { tag } => {
+                let node = (tag - TAG_POLL) as usize;
+                if remaining[node] > 0 {
+                    // Re-arm: cancel the old watchdog (tombstone) and push
+                    // both timers out — the wheel's churn hot path.
+                    if let Some(id) = watchdog[node].take() {
+                        eng.cancel_timer(id);
+                    }
+                    watchdog[node] =
+                        Some(eng.after(SimTime(WATCHDOG_PS), TAG_WATCHDOG + node as u64));
+                    eng.after(SimTime(POLL_PS), TAG_POLL + node as u64);
+                }
+            }
+        }
+    });
+    RunResult {
+        wall_s: wall.elapsed().as_secs_f64(),
+        events,
+        flow_events,
+        sim_end: eng.now(),
+    }
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let sizes: Vec<usize> = std::env::var("SCALING_NODES")
+        .unwrap_or_else(|_| "64,256,1024".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let reps = env_u64("SCALING_REPS", 5) as usize;
+    let rounds = env_u64("SCALING_ROUNDS", 4);
+    let floor = std::env::var("SCALING_FLOOR_EVENTS_PER_SEC")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok());
+
+    println!(
+        "engine scaling: {} reps x {} rounds, sizes {:?}",
+        reps, rounds, sizes
+    );
+    println!(
+        "{:>6} {:>10} {:>8} {:>12} {:>12} {:>8}",
+        "nodes", "events", "wall_s", "events/s", "flows/s", "spread"
+    );
+
+    let mut out = String::from("{\n");
+    out.push_str(
+        "  \"benchmark\": \"engine scaling: events/sec and flows/sec vs synthetic node count\",\n",
+    );
+    out.push_str(&format!(
+        "  \"config\": {{ \"reps\": {}, \"rounds\": {}, \"poll_ps\": {}, \"watchdog_ps\": {} }},\n",
+        reps, rounds, POLL_PS, WATCHDOG_PS
+    ));
+    out.push_str("  \"sizes\": [\n");
+
+    let mut failed = false;
+    for (si, &nodes) in sizes.iter().enumerate() {
+        let runs: Vec<RunResult> = (0..reps).map(|_| run_scenario(nodes, rounds)).collect();
+        let mut ev_rates: Vec<f64> = runs
+            .iter()
+            .map(|r| r.events as f64 / r.wall_s.max(1e-9))
+            .collect();
+        ev_rates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut fl_rates: Vec<f64> = runs
+            .iter()
+            .map(|r| r.flow_events as f64 / r.wall_s.max(1e-9))
+            .collect();
+        fl_rates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let med_ev = median(&ev_rates);
+        let med_fl = median(&fl_rates);
+        let spread_pct =
+            100.0 * (ev_rates[ev_rates.len() - 1] - ev_rates[0]) / med_ev.max(1e-9);
+
+        println!(
+            "{:>6} {:>10} {:>8.3} {:>12.0} {:>12.0} {:>7.1}%",
+            nodes, runs[0].events, runs[0].wall_s, med_ev, med_fl, spread_pct
+        );
+
+        let rep_json: Vec<String> = runs
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{ \"wall_s\": {:.6}, \"events\": {}, \"flow_events\": {}, \"sim_end_s\": {:.6} }}",
+                    r.wall_s,
+                    r.events,
+                    r.flow_events,
+                    r.sim_end.0 as f64 * 1e-12
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "    {{ \"nodes\": {}, \"median_events_per_s\": {:.0}, \"median_flows_per_s\": {:.0}, \"spread_pct\": {:.1}, \"reps\": [{}] }}{}\n",
+            nodes,
+            med_ev,
+            med_fl,
+            spread_pct,
+            rep_json.join(", "),
+            if si + 1 == sizes.len() { "" } else { "," }
+        ));
+
+        if let Some(f) = floor {
+            if med_ev < f {
+                eprintln!(
+                    "FAIL: {} nodes: median {:.0} events/s below floor {:.0}",
+                    nodes, med_ev, f
+                );
+                failed = true;
+            }
+        }
+    }
+    out.push_str("  ]\n}\n");
+
+    if let Ok(path) = std::env::var("SCALING_OUT") {
+        std::fs::write(&path, &out).expect("write SCALING_OUT");
+        println!("wrote {}", path);
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -392,6 +392,7 @@ fn print_timings(
             for (name, value) in &j.counters {
                 println!("   counter {:<18} {}", name, value);
             }
+            print_engine_throughput(j, busy);
         }
         None => println!("   journal: disabled (enable with --trace FILE)"),
     }
@@ -406,6 +407,48 @@ fn print_timings(
         }
     }
     println!();
+}
+
+/// Engine-throughput digest derived from the merged telemetry journal:
+/// events processed and events/sec over campaign busy time, same-instant
+/// batching effectiveness (allocator passes saved vs one-pass-per-event),
+/// timer-queue traffic, and parallel component-solve engagement.
+fn print_engine_throughput(j: &simcore::Journal, busy_s: f64) {
+    let c = |name: &str| j.counters.get(name).copied().unwrap_or(0);
+    let events = c("engine.events");
+    if events == 0 {
+        return;
+    }
+    println!("== engine throughput ==");
+    println!(
+        "   {} event(s) processed, {:.0} events/s of busy time",
+        events,
+        if busy_s > 0.0 {
+            events as f64 / busy_s
+        } else {
+            0.0
+        }
+    );
+    let instants = c("engine.queue.batch_instants");
+    if instants > 0 {
+        println!(
+            "   {} batched instant(s), {:.2} events/instant: {} allocator pass(es) saved vs per-event",
+            instants,
+            events as f64 / instants as f64,
+            events.saturating_sub(instants)
+        );
+    }
+    println!(
+        "   timer queue: {} insert(s), {} cancel(s)",
+        c("engine.queue.inserts"),
+        c("engine.queue.cancels")
+    );
+    let par = c("fluid.parallel_components");
+    if par > 0 {
+        println!("   parallel solver: {} component(s) solved in parallel", par);
+    } else {
+        println!("   parallel solver: not engaged (workload below threshold)");
+    }
 }
 
 /// Machine-readable timing record (`--timings FILE`).
@@ -466,7 +509,22 @@ fn timings_json(
             }
             out.push_str(&format!("\"{}\":{}", name, value));
         }
-        out.push_str("}}");
+        out.push('}');
+        let c = |name: &str| j.counters.get(name).copied().unwrap_or(0);
+        let events = c("engine.events");
+        let instants = c("engine.queue.batch_instants");
+        let busy: f64 = runs.iter().map(|r| r.busy.as_secs_f64()).sum();
+        out.push_str(&format!(
+            ",\"engine\":{{\"events\":{},\"events_per_busy_s\":{:.0},\"batch_instants\":{},\"allocator_passes_saved\":{},\"queue_inserts\":{},\"queue_cancels\":{},\"parallel_components\":{}}}",
+            events,
+            if busy > 0.0 { events as f64 / busy } else { 0.0 },
+            instants,
+            events.saturating_sub(instants),
+            c("engine.queue.inserts"),
+            c("engine.queue.cancels"),
+            c("fluid.parallel_components"),
+        ));
+        out.push('}');
     } else {
         out.push('}');
     }

@@ -7,18 +7,18 @@
 //! tagged with opaque `u64` tags. Tags are namespaced per subsystem (high
 //! bits identify the owner) so a single driver loop can dispatch them.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::VecDeque;
 use std::fmt;
 
 use crate::cancel::{self, CancelToken};
 use crate::fluid::{FlowId, FlowReport, FlowSpec, FluidNet, ResourceId};
+#[cfg(any(test, feature = "reference-queue"))]
+use crate::queue::{HeapQueue, FORCE_HEAP};
+use crate::queue::{EventQueue, QueueEntry, TimingWheel};
 use crate::telemetry::{self, Lane};
 use crate::time::SimTime;
 
-/// Identifies a scheduled timer. Ids are never reused.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
-pub struct TimerId(u64);
+pub use crate::queue::TimerId;
 
 /// A completion event returned by [`Engine::next`].
 #[derive(Clone, Debug)]
@@ -47,12 +47,33 @@ impl Event {
     }
 }
 
-#[derive(PartialEq, Eq, PartialOrd, Ord)]
-struct TimerEntry {
-    deadline: SimTime,
-    seq: u64,
-    id: TimerId,
-    tag: u64,
+/// The engine's timer queue: the production timing wheel, or (under tests /
+/// the `reference-queue` feature) the retained binary-heap reference so the
+/// two can be compared differentially on whole campaigns.
+enum TimerQueue {
+    Wheel(TimingWheel),
+    #[cfg(any(test, feature = "reference-queue"))]
+    Heap(HeapQueue),
+}
+
+impl TimerQueue {
+    #[inline]
+    fn get(&self) -> &dyn EventQueue {
+        match self {
+            TimerQueue::Wheel(w) => w,
+            #[cfg(any(test, feature = "reference-queue"))]
+            TimerQueue::Heap(h) => h,
+        }
+    }
+
+    #[inline]
+    fn get_mut(&mut self) -> &mut dyn EventQueue {
+        match self {
+            TimerQueue::Wheel(w) => w,
+            #[cfg(any(test, feature = "reference-queue"))]
+            TimerQueue::Heap(h) => h,
+        }
+    }
 }
 
 /// What the event loop was still holding when it wedged. Attached to every
@@ -160,17 +181,19 @@ impl std::error::Error for EngineError {}
 pub struct Engine {
     now: SimTime,
     net: FluidNet,
-    timers: BinaryHeap<Reverse<TimerEntry>>,
-    /// Tombstones for cancelled-but-not-yet-popped timers. Cancellation is
-    /// O(1): the entry stays in the heap and is discarded when it reaches
-    /// the top, at which point its tombstone is consumed. Every cancel site
-    /// targets a still-pending timer, so the set cannot leak.
-    cancelled: HashSet<TimerId>,
+    /// Timer queue. Cancellation is O(1): the entry stays queued with a
+    /// tombstone and is discarded when it surfaces, consuming the tombstone.
+    /// Every cancel site targets a still-pending timer, so tombstones cannot
+    /// leak — asserted (debug builds) at quiescence and on drop via
+    /// [`EventQueue::outstanding_tombstones`].
+    timers: TimerQueue,
     next_timer: u64,
     seq: u64,
-    /// Completed flows not yet handed out (a single `elapse` can finish
-    /// several flows at the same instant).
-    pending: Vec<Event>,
+    /// Same-instant event batch not yet handed out: all flow completions and
+    /// due timers at one `SimTime` are drained here in one pass (flows first,
+    /// then timers in schedule order) and popped from the front. The buffer's
+    /// allocation is reused across instants.
+    pending: VecDeque<Event>,
     /// Optional watchdog: `try_next` refuses to advance past this instant.
     budget: Option<SimTime>,
     /// Cooperative cancellation token, adopted from the ambient
@@ -184,18 +207,42 @@ pub struct Engine {
 impl Engine {
     /// Create an empty engine at time zero.
     pub fn new() -> Self {
+        #[cfg(any(test, feature = "reference-queue"))]
+        let timers = if FORCE_HEAP.load(std::sync::atomic::Ordering::Relaxed) {
+            TimerQueue::Heap(HeapQueue::new())
+        } else {
+            TimerQueue::Wheel(TimingWheel::new())
+        };
+        #[cfg(not(any(test, feature = "reference-queue")))]
+        let timers = TimerQueue::Wheel(TimingWheel::new());
         Engine {
             now: SimTime::ZERO,
             net: FluidNet::new(),
-            timers: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            timers,
             next_timer: 0,
             seq: 0,
-            pending: Vec::new(),
+            pending: VecDeque::new(),
             budget: None,
             cancel: cancel::current(),
             cancel_stride: 0,
         }
+    }
+
+    /// Create an empty engine running on the retained binary-heap reference
+    /// queue instead of the timing wheel, for differential comparison
+    /// (the queue analogue of `fluid::reference`).
+    #[cfg(any(test, feature = "reference-queue"))]
+    pub fn with_heap_queue() -> Self {
+        let mut e = Engine::new();
+        e.timers = TimerQueue::Heap(HeapQueue::new());
+        e
+    }
+
+    /// Which queue backs this engine — lets replay tests assert the
+    /// `FORCE_HEAP` switch actually engaged before trusting a comparison.
+    #[cfg(any(test, feature = "reference-queue"))]
+    pub fn uses_heap_queue(&self) -> bool {
+        matches!(self.timers, TimerQueue::Heap(_))
     }
 
     /// Current simulated time.
@@ -283,18 +330,22 @@ impl Engine {
         let id = TimerId(self.next_timer);
         self.next_timer += 1;
         self.seq += 1;
-        self.timers.push(Reverse(TimerEntry {
+        self.timers.get_mut().insert(QueueEntry {
             deadline,
             seq: self.seq,
             id,
             tag,
-        }));
+        });
+        telemetry::counter_add("engine.queue.inserts", 1);
         id
     }
 
-    /// Cancel a timer. Harmless if already fired.
+    /// Cancel a timer. Every caller must target a still-pending timer
+    /// (cancelling an already-fired id would leave a tombstone that can
+    /// never be consumed — debug builds assert against it at quiescence).
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.cancelled.insert(id);
+        self.timers.get_mut().cancel(id);
+        telemetry::counter_add("engine.queue.cancels", 1);
     }
 
     /// Re-solve the allocation if any flow/capacity mutation is pending.
@@ -307,6 +358,9 @@ impl Engine {
             if stats.components > 0 {
                 telemetry::counter_add("fluid.components", stats.components);
                 telemetry::counter_add("fluid.realloc_flows_visited", stats.flows_visited);
+            }
+            if stats.parallel_components > 0 {
+                telemetry::counter_add("fluid.parallel_components", stats.parallel_components);
             }
         }
     }
@@ -356,12 +410,16 @@ impl Engine {
     }
 
     /// Snapshot of everything still outstanding (for error reporting).
+    /// Timer tags are listed in `(deadline, seq)` order — deterministic and
+    /// identical across queue implementations (determinism policy,
+    /// DESIGN.md §13).
     pub fn stall_diagnostic(&self) -> StallDiagnostic {
         let pending_timer_tags = self
             .timers
+            .get()
+            .live_entries()
             .iter()
-            .filter(|Reverse(e)| !self.cancelled.contains(&e.id))
-            .map(|Reverse(e)| e.tag)
+            .map(|e| e.tag)
             .collect();
         StallDiagnostic {
             now: self.now,
@@ -402,24 +460,18 @@ impl Engine {
                     diagnostic: self.stall_diagnostic(),
                 });
             }
-            if let Some(ev) = self.pending.pop() {
+            // Drain the same-instant batch before touching the allocator:
+            // all mutations made by handlers at this instant coalesce into
+            // the single `refresh` below, one allocator pass per instant.
+            if let Some(ev) = self.pending.pop_front() {
                 telemetry::counter_add("engine.events", 1);
                 return Ok(Some(ev));
             }
             self.refresh();
 
-            // Earliest timer, lazily discarding cancelled entries as they
-            // surface at the heap top (their tombstones are consumed here).
-            let timer_deadline = loop {
-                match self.timers.peek() {
-                    Some(Reverse(e)) if self.cancelled.contains(&e.id) => {
-                        let e = self.timers.pop().expect("peeked").0;
-                        self.cancelled.remove(&e.id);
-                    }
-                    Some(Reverse(e)) => break Some(e.deadline),
-                    None => break None,
-                }
-            };
+            // Earliest live timer; the queue lazily consumes tombstones of
+            // cancelled entries as they surface.
+            let timer_deadline = self.timers.get_mut().peek_deadline();
 
             let flow_dt = self.net.time_to_next_completion();
             let flow_deadline = flow_dt.map(|dt| {
@@ -434,6 +486,7 @@ impl Engine {
                 // whose completion horizon saturates SimTime): the
                 // simulation is effectively dry.
                 (None, Some(f)) if f == SimTime::MAX => {
+                    self.assert_no_tombstones();
                     telemetry::instant(self.now, "engine", "quiesce", Lane::Engine);
                     return Ok(None);
                 }
@@ -443,6 +496,7 @@ impl Engine {
                     if self.net.active_flows() > 0 {
                         return Err(EngineError::Stalled(self.stall_diagnostic()));
                     }
+                    self.assert_no_tombstones();
                     telemetry::instant(self.now, "engine", "quiesce", Lane::Engine);
                     return Ok(None);
                 }
@@ -463,44 +517,42 @@ impl Engine {
             let dt = (target - self.now).as_secs_f64();
             let done = self.net.elapse(dt);
             self.now = target;
-            // Queue flow completions (reverse so pop() yields id order).
-            for rep in done.into_iter().rev() {
-                self.pending.push(Event::Flow {
+            // Batch every event due at this instant into the reusable
+            // buffer: flow completions first (in flow-id order, as `elapse`
+            // reports them), then all timers sharing the instant in
+            // `(deadline, seq)` schedule order.
+            for rep in done {
+                self.pending.push_back(Event::Flow {
                     tag: rep.tag,
                     report: rep,
                 });
             }
-            // Fire timers due at this instant (in schedule order).
-            // Only fire timers if no flow completed strictly earlier — here
-            // target is the min, so all due timers share this instant.
-            let mut fired = Vec::new();
-            while let Some(Reverse(e)) = self.timers.peek() {
-                if e.deadline > self.now {
+            while let Some(d) = self.timers.get_mut().peek_deadline() {
+                if d > self.now {
                     break;
                 }
-                let e = self.timers.pop().expect("peeked").0;
-                if self.cancelled.remove(&e.id) {
-                    continue;
-                }
-                fired.push(Event::Timer { tag: e.tag });
-            }
-            // Deliver flow completions before timers at the same instant:
-            // pending is a LIFO, so push timers first… we want flows first.
-            // pending currently holds flows (reversed). Insert timers *below*
-            // them so flows pop first.
-            if !fired.is_empty() {
-                let flows = std::mem::take(&mut self.pending);
-                for ev in fired.into_iter().rev() {
-                    self.pending.push(ev);
-                }
-                self.pending.extend(flows);
+                let e = self.timers.get_mut().pop().expect("peeked a live entry");
+                self.pending.push_back(Event::Timer { tag: e.tag });
             }
             if self.pending.is_empty() {
                 // Nothing completed (capacity change rescheduling, or all
                 // events cancelled) — loop again.
                 continue;
             }
+            telemetry::counter_add("engine.queue.batch_instants", 1);
         }
+    }
+
+    /// Quiescence invariant (debug builds): a fully-drained queue must hold
+    /// no tombstones — otherwise some cancel site targeted an already-fired
+    /// timer and the "tombstones cannot leak" claim is broken.
+    fn assert_no_tombstones(&self) {
+        let q = self.timers.get();
+        debug_assert!(
+            q.stored_len() > 0 || q.outstanding_tombstones() == 0,
+            "timer tombstone leaked: {} cancel(s) targeted already-fired timers",
+            q.outstanding_tombstones()
+        );
     }
 
     /// Run until dry, invoking `handler` for each event. The handler gets
@@ -565,6 +617,13 @@ impl Drop for Engine {
     /// (protocol step, pingpong rep…) shows up on the engine lane without any
     /// driver cooperation.
     fn drop(&mut self) {
+        // A drained queue must hold no tombstones (see assert_no_tombstones);
+        // engines dropped mid-run (budget trip, cancellation) still hold
+        // entries and are exempt. Skipped while unwinding to not mask the
+        // original panic with a double panic.
+        if !std::thread::panicking() {
+            self.assert_no_tombstones();
+        }
         if self.now > SimTime::ZERO {
             telemetry::complete(SimTime::ZERO, self.now, "engine", "run", Lane::Engine);
         }

@@ -93,19 +93,51 @@ pub struct FlowSpec {
     pub tag: u64,
 }
 
-#[derive(Clone, Debug)]
-pub(crate) struct Flow {
-    pub id: FlowId,
-    pub path: Vec<ResourceId>,
-    pub remaining: f64,
-    pub weight: f64,
-    pub cap: Option<f64>,
-    pub rate: f64,
-    pub tag: u64,
+/// Structure-of-arrays flow slab: every per-flow field lives in its own
+/// contiguous vector, all indexed by slot number. The solver's inner loops
+/// (weight re-sums, cap scans, rate write-back) and `elapse`'s per-flow
+/// update walk flat `f64` arrays instead of chasing per-flow allocations.
+/// Freed slots are reused via `FluidNet::free`; `id[slot] == FREE_SLOT`
+/// marks a free slot (ids themselves are never reused).
+#[derive(Default)]
+pub(crate) struct FlowArena {
+    /// FlowId.0 of the slot's occupant, or [`FREE_SLOT`].
+    pub id: Vec<u64>,
+    /// Resources crossed, in path order (may contain duplicates).
+    pub path: Vec<Vec<ResourceId>>,
+    pub remaining: Vec<f64>,
+    pub weight: Vec<f64>,
+    pub cap: Vec<Option<f64>>,
+    pub rate: Vec<f64>,
+    pub tag: Vec<u64>,
     /// Seconds spent rate-limited below the cap (memory-stall accounting).
-    pub stalled: f64,
+    pub stalled: Vec<f64>,
     /// Seconds since the flow started.
-    pub elapsed: f64,
+    pub elapsed: Vec<f64>,
+}
+
+/// `FlowArena::id` value marking a free slot.
+pub(crate) const FREE_SLOT: u64 = u64::MAX;
+
+impl FlowArena {
+    /// Number of slots (live + free).
+    fn len(&self) -> usize {
+        self.id.len()
+    }
+
+    /// Append one free slot, returning its number.
+    fn push_free(&mut self) -> u32 {
+        self.id.push(FREE_SLOT);
+        self.path.push(Vec::new());
+        self.remaining.push(0.0);
+        self.weight.push(0.0);
+        self.cap.push(None);
+        self.rate.push(0.0);
+        self.tag.push(0);
+        self.stalled.push(0.0);
+        self.elapsed.push(0.0);
+        (self.id.len() - 1) as u32
+    }
 }
 
 /// Work done by one [`FluidNet::reallocate`] call: how many dirty connected
@@ -117,6 +149,9 @@ pub struct ReallocStats {
     pub components: u64,
     /// Total flows across the re-solved components.
     pub flows_visited: u64,
+    /// Components that were solved on the scoped thread pool (0 when the
+    /// pass ran serially). Feeds the `fluid.parallel_components` counter.
+    pub parallel_components: u64,
 }
 
 /// When set, [`FluidNet::reallocate`] delegates to [`reference::reallocate`]
@@ -127,13 +162,33 @@ pub struct ReallocStats {
 pub static FORCE_REFERENCE: std::sync::atomic::AtomicBool =
     std::sync::atomic::AtomicBool::new(false);
 
+/// How [`FluidNet::reallocate`] schedules independent dirty components:
+/// `0` (auto) solves them on a scoped thread pool once a pass is large
+/// enough ([`PARALLEL_FLOW_THRESHOLD`]), `1` forces serial, `2` forces
+/// parallel whenever there are at least two components. The allocation is
+/// byte-identical either way — components are disjoint and solutions are
+/// applied in component order — which the whole-campaign replay test
+/// asserts by running under both forced modes.
+pub static PARALLEL_MODE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// In auto mode, the minimum total flows across a pass's dirty components
+/// before the scoped thread pool is worth its spawn cost. Deliberately a
+/// function of workload shape only (never of the host's core count), so the
+/// `fluid.parallel_components` counter — and with it the telemetry journal —
+/// stays machine-independent.
+pub const PARALLEL_FLOW_THRESHOLD: u64 = 4096;
+
+/// Worker-thread ceiling for one parallel reallocation pass.
+const PARALLEL_MAX_WORKERS: usize = 8;
+
 /// The set of resources and active flows, with max-min allocation.
 #[derive(Default)]
 pub struct FluidNet {
     resources: Vec<Resource>,
-    /// Flow slab; freed slots are reused via `free`. Slot numbers are
-    /// meaningless outside this struct — flows are addressed by [`FlowId`].
-    slots: Vec<Option<Flow>>,
+    /// Flow slab in structure-of-arrays layout; freed slots are reused via
+    /// `free`. Slot numbers are meaningless outside this struct — flows are
+    /// addressed by [`FlowId`].
+    arena: FlowArena,
     free: Vec<u32>,
     /// FlowId.0 → slot.
     index: HashMap<u64, u32>,
@@ -248,7 +303,7 @@ impl FluidNet {
         let cap_r = self.resources[r.index()].capacity;
         self.members[r.index()]
             .iter()
-            .map(|&s| self.slots[s as usize].as_ref().expect("live member").cap.unwrap_or(cap_r))
+            .map(|&s| self.arena.cap[s as usize].unwrap_or(cap_r))
             .sum()
     }
 
@@ -278,9 +333,8 @@ impl FluidNet {
         let slot = match self.free.pop() {
             Some(s) => s,
             None => {
-                self.slots.push(None);
                 self.slot_mark.push(0);
-                (self.slots.len() - 1) as u32
+                self.arena.push_free()
             }
         };
         for &r in &spec.path {
@@ -292,17 +346,19 @@ impl FluidNet {
                 m.push(slot);
             }
         }
-        self.slots[slot as usize] = Some(Flow {
-            id,
-            path: spec.path,
-            remaining: spec.volume,
-            weight: spec.weight,
-            cap: spec.cap,
-            rate: 0.0,
-            tag: spec.tag,
-            stalled: 0.0,
-            elapsed: 0.0,
-        });
+        let si = slot as usize;
+        self.arena.id[si] = id.0;
+        // Reuse the slot's previous path buffer instead of replacing it.
+        let dst = &mut self.arena.path[si];
+        dst.clear();
+        dst.extend_from_slice(&spec.path);
+        self.arena.remaining[si] = spec.volume;
+        self.arena.weight[si] = spec.weight;
+        self.arena.cap[si] = spec.cap;
+        self.arena.rate[si] = 0.0;
+        self.arena.tag[si] = spec.tag;
+        self.arena.stalled[si] = 0.0;
+        self.arena.elapsed[si] = 0.0;
         self.order.push(slot);
         self.index.insert(id.0, slot);
         self.dirty = true;
@@ -314,10 +370,10 @@ impl FluidNet {
         let Some(&slot) = self.index.get(&id.0) else {
             return;
         };
-        let f = self.slots[slot as usize].as_mut().expect("indexed slot live");
-        if f.cap != cap {
-            f.cap = cap;
-            for &r in &f.path {
+        let si = slot as usize;
+        if self.arena.cap[si] != cap {
+            self.arena.cap[si] = cap;
+            for &r in &self.arena.path[si] {
                 mark_res(&mut self.res_dirty, &mut self.dirty_list, r);
             }
             self.dirty = true;
@@ -325,52 +381,51 @@ impl FluidNet {
     }
 
     /// Unlink `slot` from the index, inverse index and iteration order,
-    /// marking its path dirty. The slot must be live.
-    fn detach_slot(&mut self, slot: u32) -> Flow {
+    /// marking its path dirty. The slot must be live. Returns the flow's
+    /// report with its actual remaining volume (completions overwrite it
+    /// with 0). The slot's path buffer is kept for reuse.
+    fn detach_slot(&mut self, slot: u32) -> FlowReport {
         let si = slot as usize;
-        let path = std::mem::take(&mut self.slots[si].as_mut().expect("live slot").path);
-        let id = self.slots[si].as_ref().expect("live slot").id.0;
+        let path = std::mem::take(&mut self.arena.path[si]);
+        let id = self.arena.id[si];
         for &r in &path {
             mark_res(&mut self.res_dirty, &mut self.dirty_list, r);
-            let slots = &self.slots;
+            let ids = &self.arena.id;
             let m = &mut self.members[r.index()];
             // Duplicate path entries: only the first occurrence still finds it.
-            if let Ok(p) =
-                m.binary_search_by_key(&id, |&s| slots[s as usize].as_ref().expect("member").id.0)
-            {
+            if let Ok(p) = m.binary_search_by_key(&id, |&s| ids[s as usize]) {
                 m.remove(p);
             }
         }
-        let slots = &self.slots;
+        let ids = &self.arena.id;
         let p = self
             .order
-            .binary_search_by_key(&id, |&s| slots[s as usize].as_ref().expect("ordered").id.0)
+            .binary_search_by_key(&id, |&s| ids[s as usize])
             .expect("live flow in order");
         self.order.remove(p);
-        let mut f = self.slots[si].take().expect("live slot");
-        f.path = path;
+        self.arena.path[si] = path;
+        self.arena.id[si] = FREE_SLOT;
         self.index.remove(&id);
         self.free.push(slot);
         self.dirty = true;
-        f
+        FlowReport {
+            tag: self.arena.tag[si],
+            elapsed: self.arena.elapsed[si],
+            stalled: self.arena.stalled[si],
+            remaining: self.arena.remaining[si],
+        }
     }
 
     /// Remove a flow before completion; returns its report if it existed.
     pub fn cancel_flow(&mut self, id: FlowId) -> Option<FlowReport> {
         let slot = *self.index.get(&id.0)?;
-        let f = self.detach_slot(slot);
-        Some(FlowReport {
-            tag: f.tag,
-            elapsed: f.elapsed,
-            stalled: f.stalled,
-            remaining: f.remaining,
-        })
+        Some(self.detach_slot(slot))
     }
 
     /// Rate of a flow under the current allocation.
     pub fn flow_rate(&self, id: FlowId) -> Option<f64> {
         let slot = *self.index.get(&id.0)?;
-        Some(self.slots[slot as usize].as_ref().expect("indexed slot live").rate)
+        Some(self.arena.rate[slot as usize])
     }
 
     /// Number of active flows.
@@ -401,28 +456,33 @@ impl FluidNet {
         self.epoch += 1;
         let epoch = self.epoch;
         let seeds = std::mem::take(&mut self.dirty_list);
-        let mut comp_res: Vec<u32> = Vec::new();
-        let mut comp_slots: Vec<u32> = Vec::new();
+        // Phase 1: discover every dirty component up front. Components land
+        // in two flat buffers (`all_res` / `all_slots`) addressed by ranges,
+        // so discovery allocates O(1) vectors regardless of component count.
+        let mut all_res: Vec<u32> = Vec::new();
+        let mut all_slots: Vec<u32> = Vec::new();
+        // (res_start, res_end, slot_start, slot_end) per component.
+        let mut comps: Vec<(usize, usize, usize, usize)> = Vec::new();
         let mut queue: Vec<u32> = Vec::new();
         for &seed in &seeds {
             self.res_dirty[seed as usize] = false;
             if self.res_mark[seed as usize] == epoch {
-                continue; // already solved as part of an earlier seed's component
+                continue; // already gathered as part of an earlier seed's component
             }
-            comp_res.clear();
-            comp_slots.clear();
+            let res_start = all_res.len();
+            let slot_start = all_slots.len();
             queue.clear();
             self.res_mark[seed as usize] = epoch;
             queue.push(seed);
             while let Some(r) = queue.pop() {
-                comp_res.push(r);
+                all_res.push(r);
                 for &s in &self.members[r as usize] {
                     if self.slot_mark[s as usize] == epoch {
                         continue;
                     }
                     self.slot_mark[s as usize] = epoch;
-                    comp_slots.push(s);
-                    for &pr in &self.slots[s as usize].as_ref().expect("member").path {
+                    all_slots.push(s);
+                    for &pr in &self.arena.path[s as usize] {
                         if self.res_mark[pr.index()] != epoch {
                             self.res_mark[pr.index()] = epoch;
                             queue.push(pr.0);
@@ -430,19 +490,109 @@ impl FluidNet {
                     }
                 }
             }
-            if comp_slots.is_empty() {
+            if all_slots.len() == slot_start {
                 // Dirty resource with no flows left: just clear its allocation.
+                all_res.truncate(res_start);
                 self.resources[seed as usize].allocated = 0.0;
                 continue;
             }
             // Canonical order (BFS discovery order is traversal-dependent).
-            comp_res.sort_unstable();
-            let slots = &self.slots;
-            comp_slots
-                .sort_unstable_by_key(|&s| slots[s as usize].as_ref().expect("member").id.0);
+            all_res[res_start..].sort_unstable();
+            let ids = &self.arena.id;
+            all_slots[slot_start..].sort_unstable_by_key(|&s| ids[s as usize]);
+            comps.push((res_start, all_res.len(), slot_start, all_slots.len()));
             stats.components += 1;
-            stats.flows_visited += comp_slots.len() as u64;
-            solve_region(&mut self.resources, &mut self.slots, &comp_res, &comp_slots);
+            stats.flows_visited += (all_slots.len() - slot_start) as u64;
+        }
+
+        // Phase 2: solve. Components are disjoint, each solve is a pure
+        // function of the (now immutable) arena, and solutions are applied
+        // serially in component order — so the scoped thread pool produces
+        // byte-identical state to the serial loop (DESIGN.md §13).
+        let parallel = match PARALLEL_MODE.load(std::sync::atomic::Ordering::Relaxed) {
+            1 => false,
+            2 => comps.len() >= 2,
+            // Auto: a function of workload shape only, never of the host's
+            // core count — keeps telemetry counters machine-independent.
+            _ => comps.len() >= 2 && stats.flows_visited >= PARALLEL_FLOW_THRESHOLD,
+        };
+        if !parallel {
+            for &(rs, re, ss, se) in &comps {
+                let sol = solve_region(
+                    &self.resources,
+                    &self.arena,
+                    &all_res[rs..re],
+                    &all_slots[ss..se],
+                );
+                apply_region(
+                    &mut self.resources,
+                    &mut self.arena,
+                    &all_res[rs..re],
+                    &all_slots[ss..se],
+                    &sol,
+                );
+            }
+            return stats;
+        }
+
+        stats.parallel_components = stats.components;
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(comps.len())
+            .min(PARALLEL_MAX_WORKERS);
+        let mut solutions: Vec<Option<RegionSolution>> = Vec::new();
+        solutions.resize_with(comps.len(), || None);
+        {
+            let resources = &self.resources;
+            let arena = &self.arena;
+            let all_res = &all_res;
+            let all_slots = &all_slots;
+            let comps = &comps;
+            std::thread::scope(|scope| {
+                // Deterministic round-robin assignment: worker `w` takes
+                // components w, w+W, w+2W… (scheduling cannot change which
+                // worker solves which component, only when).
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            let mut ci = w;
+                            while ci < comps.len() {
+                                let (rs, re, ss, se) = comps[ci];
+                                out.push((
+                                    ci,
+                                    solve_region(
+                                        resources,
+                                        arena,
+                                        &all_res[rs..re],
+                                        &all_slots[ss..se],
+                                    ),
+                                ));
+                                ci += workers;
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (ci, sol) in h.join().expect("component solver panicked") {
+                        solutions[ci] = Some(sol);
+                    }
+                }
+            });
+        }
+        // Merge in component order (= ascending first-dirty-seed order),
+        // identical to the serial loop's write sequence.
+        for (ci, &(rs, re, ss, se)) in comps.iter().enumerate() {
+            let sol = solutions[ci].take().expect("every component solved");
+            apply_region(
+                &mut self.resources,
+                &mut self.arena,
+                &all_res[rs..re],
+                &all_slots[ss..se],
+                &sol,
+            );
         }
         stats
     }
@@ -465,29 +615,27 @@ impl FluidNet {
             }
         }
         let mut finished: Vec<u32> = Vec::new();
+        let a = &mut self.arena;
         for &s in &self.order {
-            let f = self.slots[s as usize].as_mut().expect("ordered slot live");
-            f.elapsed += dt;
-            if let Some(c) = f.cap {
-                if f.rate < c * (1.0 - 1e-9) {
-                    f.stalled += dt * (1.0 - f.rate / c).clamp(0.0, 1.0);
+            let si = s as usize;
+            a.elapsed[si] += dt;
+            let rate = a.rate[si];
+            if let Some(c) = a.cap[si] {
+                if rate < c * (1.0 - 1e-9) {
+                    a.stalled[si] += dt * (1.0 - rate / c).clamp(0.0, 1.0);
                 }
             }
-            f.remaining -= f.rate * dt;
+            a.remaining[si] -= rate * dt;
             // Tolerate float fuzz: treat within 1e-6 units as done.
-            if f.remaining <= 1e-6 {
+            if a.remaining[si] <= 1e-6 {
                 finished.push(s);
             }
         }
         let mut done = Vec::with_capacity(finished.len());
         for &s in &finished {
-            let f = self.detach_slot(s);
-            done.push(FlowReport {
-                tag: f.tag,
-                elapsed: f.elapsed,
-                stalled: f.stalled,
-                remaining: 0.0,
-            });
+            let mut rep = self.detach_slot(s);
+            rep.remaining = 0.0;
+            done.push(rep);
         }
         done
     }
@@ -498,8 +646,8 @@ impl FluidNet {
         self.order
             .iter()
             .map(|&s| {
-                let f = self.slots[s as usize].as_ref().expect("ordered slot live");
-                (f.tag, f.remaining, f.rate)
+                let si = s as usize;
+                (self.arena.tag[si], self.arena.remaining[si], self.arena.rate[si])
             })
             .collect()
     }
@@ -508,15 +656,25 @@ impl FluidNet {
     pub fn time_to_next_completion(&self) -> Option<f64> {
         self.order
             .iter()
-            .map(|&s| self.slots[s as usize].as_ref().expect("ordered slot live"))
-            .filter(|f| f.rate > 0.0)
-            .map(|f| f.remaining / f.rate)
+            .map(|&s| s as usize)
+            .filter(|&si| self.arena.rate[si] > 0.0)
+            .map(|si| self.arena.remaining[si] / self.arena.rate[si])
             .min_by(|a, b| a.partial_cmp(b).expect("finite"))
     }
 }
 
-/// Solve one connected component by progressive filling and write back flow
-/// rates and per-resource allocations.
+/// A solved component, local to its `comp_res`/`comp_slots` ordering:
+/// `rate[i]` for the i-th component slot, `alloc[lr]` for the lr-th
+/// component resource. Produced by [`solve_region`] (pure) and written back
+/// by [`apply_region`] — the split is what lets independent components be
+/// solved on worker threads while every state mutation stays on the caller.
+struct RegionSolution {
+    rate: Vec<f64>,
+    alloc: Vec<f64>,
+}
+
+/// Solve one connected component by progressive filling, returning its
+/// rates and per-resource allocations without touching shared state.
 ///
 /// `comp_res` must be sorted ascending, `comp_slots` sorted by ascending
 /// [`FlowId`], and together they must form a closed component: every
@@ -525,11 +683,11 @@ impl FluidNet {
 /// the fill algorithm — the incremental and reference solvers both call it,
 /// which is what makes their results bit-identical by construction.
 fn solve_region(
-    resources: &mut [Resource],
-    slots: &mut [Option<Flow>],
+    resources: &[Resource],
+    arena: &FlowArena,
     comp_res: &[u32],
     comp_slots: &[u32],
-) {
+) -> RegionSolution {
     let nf = comp_slots.len();
     let nr = comp_res.len();
     debug_assert!(nf > 0 && nr > 0);
@@ -543,10 +701,10 @@ fn solve_region(
     let mut lmembers: Vec<Vec<u32>> = vec![Vec::new(); nr];
     let mut fpath: Vec<Vec<u32>> = vec![Vec::new(); nf];
     for (i, &s) in comp_slots.iter().enumerate() {
-        let f = slots[s as usize].as_ref().expect("component slot live");
-        weight[i] = f.weight;
-        cap[i] = f.cap;
-        for &r in &f.path {
+        let si = s as usize;
+        weight[i] = arena.weight[si];
+        cap[i] = arena.cap[si];
+        for &r in &arena.path[si] {
             let lr = comp_res.binary_search(&r.0).expect("closed component") as u32;
             let lm = &mut lmembers[lr as usize];
             if lm.last() != Some(&(i as u32)) {
@@ -660,17 +818,36 @@ fn solve_region(
         }
     }
 
-    // Write back: rates on the flows, per-occurrence allocation sums on the
-    // component's resources (a path crossing a resource twice counts twice).
-    for &r in comp_res {
-        resources[r as usize].allocated = 0.0;
+    // Per-occurrence allocation sums on the component's resources (a path
+    // crossing a resource twice counts twice), accumulated from 0.0 in the
+    // exact (flow, path-occurrence) order the serial write-back always used
+    // — f64 addition is order-sensitive, so this order is the contract.
+    let mut alloc = vec![0.0f64; nr];
+    for (i, &s) in comp_slots.iter().enumerate() {
+        for &r in &arena.path[s as usize] {
+            let lr = comp_res.binary_search(&r.0).expect("closed component");
+            alloc[lr] += rate[i];
+        }
+    }
+    RegionSolution { rate, alloc }
+}
+
+/// Write a solved component back: rates on the flows, allocation totals on
+/// the component's resources. Always runs on the caller's thread; parallel
+/// passes apply solutions in component order so the final state is
+/// byte-identical to the serial loop.
+fn apply_region(
+    resources: &mut [Resource],
+    arena: &mut FlowArena,
+    comp_res: &[u32],
+    comp_slots: &[u32],
+    sol: &RegionSolution,
+) {
+    for (lr, &r) in comp_res.iter().enumerate() {
+        resources[r as usize].allocated = sol.alloc[lr];
     }
     for (i, &s) in comp_slots.iter().enumerate() {
-        let f = slots[s as usize].as_mut().expect("component slot live");
-        f.rate = rate[i];
-        for &r in &f.path {
-            resources[r.index()].allocated += rate[i];
-        }
+        arena.rate[s as usize] = sol.rate[i];
     }
 }
 
@@ -699,13 +876,14 @@ pub mod reference {
         }
         let n = net.resources.len();
         // Live slots in ascending id order, independent of `net.order`.
+        // (Hash-iteration order is immediately canonicalized by the sort —
+        // determinism policy, DESIGN.md §13.)
         let mut live: Vec<u32> = net.index.values().copied().collect();
-        live.sort_unstable_by_key(|&s| net.slots[s as usize].as_ref().expect("live").id.0);
+        live.sort_unstable_by_key(|&s| net.arena.id[s as usize]);
         // Adjacency rebuilt from paths alone.
         let mut members: Vec<Vec<u32>> = vec![Vec::new(); n];
         for &s in &live {
-            let f = net.slots[s as usize].as_ref().expect("live");
-            for &r in &f.path {
+            for &r in &net.arena.path[s as usize] {
                 let m = &mut members[r.index()];
                 if m.last() != Some(&s) {
                     m.push(s);
@@ -713,7 +891,7 @@ pub mod reference {
             }
         }
         let mut res_seen = vec![false; n];
-        let mut slot_seen = vec![false; net.slots.len()];
+        let mut slot_seen = vec![false; net.arena.len()];
         let mut stats = ReallocStats::default();
         let mut comp_res: Vec<u32> = Vec::new();
         let mut comp_slots: Vec<u32> = Vec::new();
@@ -735,7 +913,7 @@ pub mod reference {
                     }
                     slot_seen[s as usize] = true;
                     comp_slots.push(s);
-                    for &pr in &net.slots[s as usize].as_ref().expect("live").path {
+                    for &pr in &net.arena.path[s as usize] {
                         if !res_seen[pr.index()] {
                             res_seen[pr.index()] = true;
                             queue.push(pr.0);
@@ -744,12 +922,12 @@ pub mod reference {
                 }
             }
             comp_res.sort_unstable();
-            let slots = &net.slots;
-            comp_slots
-                .sort_unstable_by_key(|&s| slots[s as usize].as_ref().expect("live").id.0);
+            let ids = &net.arena.id;
+            comp_slots.sort_unstable_by_key(|&s| ids[s as usize]);
             stats.components += 1;
             stats.flows_visited += comp_slots.len() as u64;
-            solve_region(&mut net.resources, &mut net.slots, &comp_res, &comp_slots);
+            let sol = solve_region(&net.resources, &net.arena, &comp_res, &comp_slots);
+            apply_region(&mut net.resources, &mut net.arena, &comp_res, &comp_slots, &sol);
         }
         stats
     }
@@ -766,11 +944,15 @@ impl fmt::Debug for FluidNet {
             )?;
         }
         for &s in &self.order {
-            let fl = self.slots[s as usize].as_ref().expect("ordered slot live");
+            let si = s as usize;
             writeln!(
                 f,
                 "  F{} tag {}: remaining {:.3e} rate {:.3e} cap {:?}",
-                fl.id.0, fl.tag, fl.remaining, fl.rate, fl.cap
+                self.arena.id[si],
+                self.arena.tag[si],
+                self.arena.remaining[si],
+                self.arena.rate[si],
+                self.arena.cap[si]
             )?;
         }
         Ok(())
@@ -1023,6 +1205,83 @@ mod tests {
         net.reallocate();
         assert_eq!(net.allocated(bus), 0.0);
         assert_eq!(net.demand(bus), 0.0);
+    }
+
+    /// Mixed multi-component net exercising shared resources, caps, weights
+    /// and multi-hop paths. Returns (net, flows, resources).
+    fn multi_component_net(groups: u32) -> (FluidNet, Vec<FlowId>, Vec<ResourceId>) {
+        let mut net = FluidNet::new();
+        let mut flows = Vec::new();
+        let mut rs = Vec::new();
+        for g in 0..groups {
+            let shared = net.add_resource(format!("rack{g}"), 50.0 + g as f64);
+            let wide = net.add_resource(format!("fab{g}"), 100.0);
+            rs.push(shared);
+            rs.push(wide);
+            for i in 0..5 {
+                flows.push(net.start_flow(FlowSpec {
+                    path: if i % 2 == 0 { vec![shared, wide] } else { vec![shared] },
+                    volume: 1e6,
+                    weight: 1.0 + f64::from(i) * 0.25,
+                    cap: if i == 3 { Some(7.5) } else { None },
+                    tag: u64::from(g * 8 + i),
+                }));
+            }
+        }
+        (net, flows, rs)
+    }
+
+    #[test]
+    fn parallel_components_match_serial_bitwise() {
+        use std::sync::atomic::Ordering;
+        let (mut serial, flows, rs) = multi_component_net(6);
+        let (mut par, _, _) = multi_component_net(6);
+        PARALLEL_MODE.store(1, Ordering::Relaxed);
+        let ss = serial.reallocate();
+        PARALLEL_MODE.store(2, Ordering::Relaxed);
+        let sp = par.reallocate();
+        PARALLEL_MODE.store(0, Ordering::Relaxed);
+        assert_eq!(ss.components, 6);
+        assert_eq!(ss.components, sp.components);
+        assert_eq!(ss.flows_visited, sp.flows_visited);
+        assert_eq!(ss.parallel_components, 0);
+        assert_eq!(sp.parallel_components, 6, "forced parallel must engage");
+        for &f in &flows {
+            assert_eq!(
+                serial.flow_rate(f).map(f64::to_bits),
+                par.flow_rate(f).map(f64::to_bits),
+                "flow {f:?}"
+            );
+        }
+        for &r in &rs {
+            assert_eq!(serial.allocated(r).to_bits(), par.allocated(r).to_bits(), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_auto_mode_engages_on_workload_shape_only() {
+        // Below threshold: two components, few flows — stays serial.
+        let (mut small, _, _) = multi_component_net(2);
+        assert_eq!(small.reallocate().parallel_components, 0);
+        // At threshold: flows_visited >= PARALLEL_FLOW_THRESHOLD across >= 2
+        // components engages the pool regardless of host core count.
+        let mut big = FluidNet::new();
+        let a = big.add_resource("a", 100.0);
+        let b = big.add_resource("b", 100.0);
+        let per = PARALLEL_FLOW_THRESHOLD / 2;
+        for i in 0..2 * per {
+            big.start_flow(FlowSpec {
+                path: vec![if i % 2 == 0 { a } else { b }],
+                volume: 1e9,
+                weight: 1.0,
+                cap: None,
+                tag: i,
+            });
+        }
+        let stats = big.reallocate();
+        assert_eq!(stats.components, 2);
+        assert_eq!(stats.flows_visited, 2 * per);
+        assert_eq!(stats.parallel_components, 2);
     }
 
     #[test]

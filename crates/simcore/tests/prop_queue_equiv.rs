@@ -1,0 +1,189 @@
+//! Timing-wheel vs binary-heap queue equivalence suite.
+//!
+//! The engine's timer queue was rewritten from a `BinaryHeap` + tombstone
+//! set to a hierarchical timing wheel; the heap implementation is retained
+//! (`queue::HeapQueue`, the `fluid::reference` pattern) as the differential
+//! oracle. Both must produce **identical** `(time, seq)` pop sequences —
+//! entry for entry, including ids and tags — across any interleaving of
+//! inserts, O(1) cancellations and pops, because event order is what makes
+//! simulation output byte-stable.
+//!
+//! Scripts drive both queues in lockstep: deadlines are scattered from the
+//! current watermark across all wheel levels (same tick, next tick, slot
+//! boundaries, far future), cancels target live entries by index, and pops
+//! advance the watermark. Case count honours `PROPTEST_CASES` (CI runs 512;
+//! the nightly long-fuzz raises it further).
+
+use proptest::prelude::*;
+use simcore::queue::{EventQueue, HeapQueue, QueueEntry, TimingWheel};
+use simcore::{SimTime, TimerId};
+
+/// One step of a queue script.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert at `watermark + delta` picoseconds.
+    Insert(u64),
+    /// Cancel the n-th not-yet-cancelled, not-yet-popped entry (modulo the
+    /// live count at application time).
+    Cancel(usize),
+    /// Pop once from both queues and compare; advances the watermark.
+    Pop,
+}
+
+/// Deadline deltas biased to exercise every wheel level: same tick (0), the
+/// staged/level-0 region, slot and level boundaries, and the far future.
+fn delta() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        0u64..4,
+        0u64..64,
+        60u64..70,     // level-0/level-1 boundary
+        0u64..4096,    // level-1 span
+        4090u64..4200, // level-1/level-2 boundary
+        0u64..(1 << 24),
+        (1u64 << 30)..(1 << 34), // deep levels
+    ]
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    // Repetition stands in for arm weights (~4 insert : 1 cancel : 3 pop).
+    prop_oneof![
+        delta().prop_map(Op::Insert).boxed(),
+        delta().prop_map(Op::Insert).boxed(),
+        delta().prop_map(Op::Insert).boxed(),
+        delta().prop_map(Op::Insert).boxed(),
+        (0..64usize).prop_map(Op::Cancel).boxed(),
+        Just(Op::Pop).boxed(),
+        Just(Op::Pop).boxed(),
+        Just(Op::Pop).boxed(),
+    ]
+}
+
+/// Drive both queues through one script in lockstep, comparing every pop
+/// (and the live/stored accounting) along the way, then drain both to the
+/// end and require full agreement plus zero leftover tombstones.
+fn run_script(ops: &[Op]) {
+    let mut wheel = TimingWheel::new();
+    let mut heap = HeapQueue::new();
+    let mut live: Vec<TimerId> = Vec::new();
+    let mut watermark = 0u64;
+    let mut seq = 0u64;
+
+    let pop_both = |wheel: &mut TimingWheel,
+                    heap: &mut HeapQueue,
+                    live: &mut Vec<TimerId>,
+                    watermark: &mut u64| {
+        let (a, b) = (wheel.pop(), heap.pop());
+        assert_eq!(
+            a, b,
+            "wheel and heap popped different entries (watermark {watermark})"
+        );
+        if let Some(e) = a {
+            assert!(e.deadline.0 >= *watermark, "pop went backwards");
+            *watermark = e.deadline.0;
+            live.retain(|&id| id != e.id);
+            if e.seq % 3 == 0 {
+                // Stale cancel (already fired): must be a no-op on both.
+                wheel.cancel(e.id);
+                heap.cancel(e.id);
+            }
+        }
+        assert_eq!(wheel.live_len(), heap.live_len());
+    };
+
+    for o in ops {
+        match o {
+            Op::Insert(delta) => {
+                seq += 1;
+                let e = QueueEntry {
+                    deadline: SimTime(watermark.saturating_add(*delta)),
+                    seq,
+                    id: TimerId::from_raw(seq),
+                    tag: seq ^ 0xA5A5,
+                };
+                wheel.insert(e);
+                heap.insert(e);
+                live.push(e.id);
+            }
+            Op::Cancel(i) => {
+                if !live.is_empty() {
+                    let id = live.remove(i % live.len());
+                    wheel.cancel(id);
+                    heap.cancel(id);
+                }
+            }
+            Op::Pop => pop_both(&mut wheel, &mut heap, &mut live, &mut watermark),
+        }
+        assert_eq!(wheel.live_len(), heap.live_len(), "live accounting diverged");
+    }
+    // Drain: identical tails, fully consumed tombstones on both sides.
+    loop {
+        let before = wheel.live_len();
+        pop_both(&mut wheel, &mut heap, &mut live, &mut watermark);
+        if before == 0 {
+            break;
+        }
+    }
+    assert_eq!(wheel.stored_len(), 0);
+    assert_eq!(heap.stored_len(), 0);
+    assert_eq!(wheel.outstanding_tombstones(), 0, "wheel leaked tombstones");
+    assert_eq!(heap.outstanding_tombstones(), 0, "heap leaked tombstones");
+}
+
+proptest! {
+    /// Randomized insert/cancel/advance scripts: the timing wheel and the
+    /// retained heap reference pop the same (time, seq) sequence, entry for
+    /// entry.
+    #[test]
+    fn wheel_matches_heap_pop_sequence(ops in prop::collection::vec(op(), 1..120)) {
+        run_script(&ops);
+    }
+}
+
+#[test]
+fn deterministic_boundary_script() {
+    // Hand-picked corner mix: same-instant bursts, cancels at every depth,
+    // pops interleaved with re-inserts below the staged watermark.
+    let ops = vec![
+        Op::Insert(0),
+        Op::Insert(0),
+        Op::Insert(63),
+        Op::Insert(64),
+        Op::Insert(4095),
+        Op::Insert(4096),
+        Op::Cancel(2),
+        Op::Pop,
+        Op::Insert(1 << 33),
+        Op::Insert(0),
+        Op::Pop,
+        Op::Pop,
+        Op::Cancel(0),
+        Op::Insert(1),
+        Op::Pop,
+        Op::Pop,
+    ];
+    run_script(&ops);
+}
+
+/// The diagnostic view must agree between implementations too: stall
+/// reports name pending timers in (deadline, seq) order on both queues.
+#[test]
+fn live_entries_agree_between_queues() {
+    let mut wheel = TimingWheel::new();
+    let mut heap = HeapQueue::new();
+    for (i, t) in [500u64, 3, 70, 3, 1 << 20, 4096].iter().enumerate() {
+        let e = QueueEntry {
+            deadline: SimTime(*t),
+            seq: i as u64 + 1,
+            id: TimerId::from_raw(i as u64 + 1),
+            tag: i as u64,
+        };
+        wheel.insert(e);
+        heap.insert(e);
+    }
+    wheel.cancel(TimerId::from_raw(4));
+    heap.cancel(TimerId::from_raw(4));
+    // Stage part of the wheel so live entries span staging + slots.
+    assert_eq!(wheel.peek_deadline(), heap.peek_deadline());
+    assert_eq!(wheel.live_entries(), heap.live_entries());
+}
