@@ -15,18 +15,33 @@
 //! of them plus median and relative spread — a single hot number hides
 //! exactly the variance that makes wall-clock claims irreproducible.
 //!
+//! A second section scales the *full stack* instead of the bare engine: a
+//! ring allreduce on real N-rank clusters (tiny2x2 machines on the switch
+//! fabric), rank counts 8→256, reporting simulated-events/sec through
+//! mpisim + netsim + the fabric's per-hop flows. The synthetic scenario
+//! isolates the event core; the allreduce column catches regressions in
+//! the layers above it (matching, protocol timers, multi-hop max-min).
+//!
 //! Environment knobs (all optional):
 //!   SCALING_NODES               comma list of node counts (default 64,256,1024)
 //!   SCALING_REPS                repetitions per size (default 5)
 //!   SCALING_ROUNDS              transfer rounds per node (default 4)
 //!   SCALING_FLOOR_EVENTS_PER_SEC  exit 1 if any size's median falls below
+//!   SCALING_ALLREDUCE_RANKS     comma list of rank counts (default 8,64,256)
+//!   SCALING_ALLREDUCE_FLOOR_EVENTS_PER_SEC  exit 1 if any rank count's
+//!                               median falls below
 //!   SCALING_OUT                 write the JSON table to this path
 //!
 //! Run with: `cargo bench -p bench --features bench-harness --bench scaling`
 
 use std::time::Instant;
 
-use simcore::{Engine, Event, FlowSpec, Pcg32, SimTime, TimerId};
+use freq::{Governor, UncorePolicy};
+use mpisim::collective::{self, Schedule};
+use mpisim::Cluster;
+use simcore::{telemetry, Engine, Event, FlowSpec, Pcg32, SimTime, TimerId};
+use topology::fabric::FabricPreset;
+use topology::{tiny2x2, BindingPolicy, Placement};
 
 /// Tag namespaces: flow tags are bare node indices.
 const TAG_POLL: u64 = 1 << 32;
@@ -130,6 +145,42 @@ fn run_scenario(nodes: usize, rounds: u64) -> RunResult {
     }
 }
 
+/// Ring-allreduce payload: 256 KiB, the collective-contention experiment's
+/// eager-path size (per-chunk size shrinks with the rank count).
+const ALLREDUCE_PAYLOAD: usize = 256 << 10;
+
+/// One ring allreduce across `ranks` tiny2x2 nodes on the switch fabric —
+/// the full mpisim/netsim/fabric stack, not the bare engine. Events come
+/// from the engine's telemetry counter; `flow_events` reports the
+/// schedule's point-to-point message count.
+fn run_allreduce(ranks: usize) -> RunResult {
+    let sched = Schedule::ring_allreduce(ranks, ALLREDUCE_PAYLOAD);
+    let messages = sched.total_messages() as u64;
+    telemetry::install();
+    let spec = tiny2x2();
+    let mut c = Cluster::with_fabric(
+        &spec,
+        FabricPreset::Switch.spec(ranks).build_for(ranks),
+        Governor::Userspace(spec.base_freq),
+        UncorePolicy::Fixed(spec.uncore_range.1),
+        Placement {
+            comm_thread: BindingPolicy::NearNic,
+            data: BindingPolicy::NearNic,
+        },
+    );
+    let wall = Instant::now();
+    let elapsed = collective::run(&mut c, &sched, 100, 0x8000).expect("allreduce completes");
+    let wall_s = wall.elapsed().as_secs_f64();
+    drop(c);
+    let j = telemetry::take().expect("recorder installed");
+    RunResult {
+        wall_s,
+        events: j.counters["engine.events"],
+        flow_events: messages,
+        sim_end: elapsed,
+    }
+}
+
 fn median(sorted: &[f64]) -> f64 {
     let n = sorted.len();
     if n % 2 == 1 {
@@ -227,6 +278,75 @@ fn main() {
                 eprintln!(
                     "FAIL: {} nodes: median {:.0} events/s below floor {:.0}",
                     nodes, med_ev, f
+                );
+                failed = true;
+            }
+        }
+    }
+    out.push_str("  ],\n");
+
+    // Full-stack column: ring allreduce over the switch fabric.
+    let ranks: Vec<usize> = std::env::var("SCALING_ALLREDUCE_RANKS")
+        .unwrap_or_else(|_| "8,64,256".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let ar_floor = std::env::var("SCALING_ALLREDUCE_FLOOR_EVENTS_PER_SEC")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok());
+
+    println!(
+        "ring allreduce scaling: {} reps x {} B payload, ranks {:?}",
+        reps, ALLREDUCE_PAYLOAD, ranks
+    );
+    println!(
+        "{:>6} {:>10} {:>8} {:>12} {:>10} {:>8}",
+        "ranks", "events", "wall_s", "events/s", "messages", "spread"
+    );
+    out.push_str("  \"allreduce\": [\n");
+    for (ri, &n) in ranks.iter().enumerate() {
+        let runs: Vec<RunResult> = (0..reps).map(|_| run_allreduce(n)).collect();
+        let mut ev_rates: Vec<f64> = runs
+            .iter()
+            .map(|r| r.events as f64 / r.wall_s.max(1e-9))
+            .collect();
+        ev_rates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let med_ev = median(&ev_rates);
+        let spread_pct =
+            100.0 * (ev_rates[ev_rates.len() - 1] - ev_rates[0]) / med_ev.max(1e-9);
+
+        println!(
+            "{:>6} {:>10} {:>8.3} {:>12.0} {:>10} {:>7.1}%",
+            n, runs[0].events, runs[0].wall_s, med_ev, runs[0].flow_events, spread_pct
+        );
+
+        let rep_json: Vec<String> = runs
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{ \"wall_s\": {:.6}, \"events\": {}, \"collective_us\": {:.3} }}",
+                    r.wall_s,
+                    r.events,
+                    r.sim_end.0 as f64 * 1e-6
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "    {{ \"ranks\": {}, \"payload\": {}, \"messages\": {}, \"median_events_per_s\": {:.0}, \"spread_pct\": {:.1}, \"reps\": [{}] }}{}\n",
+            n,
+            ALLREDUCE_PAYLOAD,
+            runs[0].flow_events,
+            med_ev,
+            spread_pct,
+            rep_json.join(", "),
+            if ri + 1 == ranks.len() { "" } else { "," }
+        ));
+
+        if let Some(f) = ar_floor {
+            if med_ev < f {
+                eprintln!(
+                    "FAIL: {} ranks: median {:.0} allreduce events/s below floor {:.0}",
+                    n, med_ev, f
                 );
                 failed = true;
             }

@@ -14,6 +14,8 @@
 //! [`PAPER_EXPERIMENTS`] / [`EXTENSION_EXPERIMENTS`].
 
 pub mod ablations;
+pub mod collective_contention;
+pub mod collective_dvfs;
 pub mod contention;
 pub mod cross_machine;
 pub mod fig1_frequency;
@@ -126,6 +128,8 @@ pub static EXTENSION_EXPERIMENTS: &[&dyn Experiment] = &[
     &ablations::Ablations,
     &overlap::Overlap,
     &faulted_pingpong::FaultedPingpong,
+    &collective_contention::CollectiveContention,
+    &collective_dvfs::CollectiveDvfs,
 ];
 
 /// Every registered experiment: paper figures first, then extensions.

@@ -7,10 +7,15 @@
 //!
 //! * one point per *(cluster preset × oracle family)* — closed-form
 //!   expectations vs simulator runs (24 points);
+//! * one point per *(fabric preset × collective oracle family)* — ring
+//!   allreduce / tree bcast / alltoall closed forms and bounds at 8 henri
+//!   ranks (9 points);
 //! * one point per metamorphic invariant over a batch of random fluid
-//!   scenarios (6 points);
+//!   scenarios (6 points), plus one per collective invariant over random
+//!   collective schedules (3 points);
 //! * the differential fuzz budget, chunked so the campaign engine can
-//!   spread scenario replay across workers.
+//!   spread scenario replay across workers, plus one point differentially
+//!   fuzzing random collective schedules against a sequential reference.
 //!
 //! The fuzz budget defaults to `Full`: 200 / `Quick`: 60 scenarios and can
 //! be overridden with `--fuzz-budget N` (plumbed through the
@@ -20,7 +25,8 @@
 //! long-fuzz workflow uploads that directory as an artifact.
 
 use simcheck::scenario::GenConfig;
-use simcheck::{fuzz, metamorphic, oracles};
+use simcheck::{collective, fuzz, metamorphic, oracles};
+use topology::fabric::FabricPreset;
 use topology::Preset;
 
 use super::Fidelity;
@@ -33,6 +39,17 @@ const FUZZ_CHUNK: usize = 50;
 /// Scenario batch size for each metamorphic invariant point.
 fn meta_count(fidelity: Fidelity) -> usize {
     fidelity.choose(40, 12)
+}
+
+/// Random collectives per collective-invariant point (each runs two full
+/// cluster simulations).
+fn coll_meta_count(fidelity: Fidelity) -> usize {
+    fidelity.choose(12, 4)
+}
+
+/// Random collectives for the differential collective-fuzz point.
+fn coll_fuzz_count(fidelity: Fidelity) -> usize {
+    fidelity.choose(24, 6)
 }
 
 /// Total fuzz budget: `SIMCHECK_FUZZ_BUDGET` override or the fidelity
@@ -57,13 +74,26 @@ impl Validate {
         Preset::clusters().len() * oracles::OracleKind::ALL.len()
     }
 
+    fn coll_oracle_points() -> usize {
+        FabricPreset::ALL.len() * collective::CollectiveOracle::ALL.len()
+    }
+
     fn meta_base(fidelity: Fidelity) -> usize {
         let _ = fidelity;
-        Self::oracle_points()
+        Self::oracle_points() + Self::coll_oracle_points()
+    }
+
+    fn coll_meta_base(fidelity: Fidelity) -> usize {
+        Self::meta_base(fidelity) + metamorphic::Invariant::ALL.len()
     }
 
     fn fuzz_base(fidelity: Fidelity) -> usize {
-        Self::meta_base(fidelity) + metamorphic::Invariant::ALL.len()
+        Self::coll_meta_base(fidelity) + collective::CollectiveInvariant::ALL.len()
+    }
+
+    /// Index of the single collective-fuzz point (the campaign's last).
+    fn coll_fuzz_index(fidelity: Fidelity) -> usize {
+        Self::fuzz_base(fidelity) + fuzz_chunks(fidelity)
     }
 }
 
@@ -86,10 +116,28 @@ impl Experiment for Validate {
                 ));
             }
         }
+        for fabric in FabricPreset::ALL {
+            for kind in collective::CollectiveOracle::ALL {
+                plan.push(SweepPoint::new(
+                    plan.len(),
+                    format!("collective oracle {} on {} fabric", kind.name(), fabric.name()),
+                ));
+            }
+        }
         for inv in metamorphic::Invariant::ALL {
             plan.push(SweepPoint::new(
                 plan.len(),
                 format!("metamorphic {} ({} scenarios)", inv.name(), meta_count(fidelity)),
+            ));
+        }
+        for inv in collective::CollectiveInvariant::ALL {
+            plan.push(SweepPoint::new(
+                plan.len(),
+                format!(
+                    "collective invariant {} ({} schedules)",
+                    inv.name(),
+                    coll_meta_count(fidelity)
+                ),
             ));
         }
         let budget = fuzz_budget(fidelity);
@@ -100,6 +148,13 @@ impl Experiment for Validate {
                 format!("differential fuzz chunk {} ({} scenarios)", c, n),
             ));
         }
+        plan.push(SweepPoint::new(
+            plan.len(),
+            format!(
+                "collective differential fuzz ({} schedules)",
+                coll_fuzz_count(fidelity)
+            ),
+        ));
         plan
     }
 
@@ -109,9 +164,24 @@ impl Experiment for Validate {
             let preset = Preset::clusters()[point.index / kinds];
             let kind = oracles::OracleKind::ALL[point.index % kinds];
             kind.run(&preset.spec())
-        } else if point.index < Self::fuzz_base(ctx.fidelity) {
+        } else if point.index < Self::meta_base(ctx.fidelity) {
+            let i = point.index - Self::oracle_points();
+            let ckinds = collective::CollectiveOracle::ALL.len();
+            let fabric = FabricPreset::ALL[i / ckinds];
+            let kind = collective::CollectiveOracle::ALL[i % ckinds];
+            kind.run(fabric)
+        } else if point.index < Self::coll_meta_base(ctx.fidelity) {
             let inv = metamorphic::Invariant::ALL[point.index - Self::meta_base(ctx.fidelity)];
             vec![inv.check(ctx.seed, meta_count(ctx.fidelity))]
+        } else if point.index < Self::fuzz_base(ctx.fidelity) {
+            let inv = collective::CollectiveInvariant::ALL
+                [point.index - Self::coll_meta_base(ctx.fidelity)];
+            vec![inv.check(ctx.seed, coll_meta_count(ctx.fidelity))]
+        } else if point.index == Self::coll_fuzz_index(ctx.fidelity) {
+            vec![collective::fuzz_collectives(
+                ctx.seed,
+                coll_fuzz_count(ctx.fidelity),
+            )]
         } else {
             let chunk = point.index - Self::fuzz_base(ctx.fidelity);
             let budget = fuzz_budget(ctx.fidelity);
@@ -158,7 +228,7 @@ impl Experiment for Validate {
         for p in points {
             let outcomes = expect_value::<Vec<simcheck::Outcome>>(points, p.index);
             for o in outcomes {
-                if p.index < Self::oracle_points() {
+                if p.index < Self::meta_base(fidelity) {
                     oracle_n += 1;
                 } else if p.index < Self::fuzz_base(fidelity) {
                     meta_n += 1;
@@ -190,8 +260,16 @@ impl Experiment for Validate {
                  rendezvous bandwidth, threshold crossover, turbo ladders, memory saturation, \
                  max-min shares"
                     .into(),
+                "collective oracles on every fabric preset (DESIGN.md §14): ring allreduce \
+                 2(n−1)·t(⌈s/n⌉), tree bcast ⌈log₂n⌉·(α+β·size), alltoall (n−1)·t and the \
+                 busiest-link bisection bound"
+                    .into(),
                 "metamorphic invariants over random fluid scenarios: determinism, \
                  time-translation, permutation symmetry, monotonicity, conservation"
+                    .into(),
+                "collective invariants: rank-permutation symmetry (switch), interleave \
+                 independence, per-link byte conservation; plus differential fuzz of random \
+                 schedules against a sequential reference"
                     .into(),
                 format!(
                     "differential fuzz: incremental vs reference solver (bit-exact) and permuted \
@@ -232,7 +310,13 @@ mod tests {
         // Serialized via the campaign engine elsewhere; here just exercise
         // the chunk arithmetic.
         let plan = Validate.plan(Fidelity::Quick);
-        let fuzz_points = plan.len() - Validate::fuzz_base(Fidelity::Quick);
+        // The last point is the collective fuzz; the fluid chunks sit
+        // between fuzz_base and it.
+        let fuzz_points = plan.len() - 1 - Validate::fuzz_base(Fidelity::Quick);
         assert_eq!(fuzz_points, fuzz_budget(Fidelity::Quick).div_ceil(FUZZ_CHUNK));
+        assert_eq!(
+            Validate::coll_fuzz_index(Fidelity::Quick),
+            plan.len() - 1
+        );
     }
 }

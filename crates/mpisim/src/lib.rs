@@ -1,16 +1,21 @@
-//! # mpisim — a two-rank message-passing layer over the simulated fabric
+//! # mpisim — an N-rank message-passing layer over the simulated fabric
 //!
 //! The paper's communication side is MadMPI (NewMadeleine's MPI interface):
 //! a dedicated communication thread per process submits operations and makes
 //! them progress. This crate provides the equivalent layer for the
 //! simulator:
 //!
-//! * [`Cluster`] — owns the whole simulated world (two nodes: memory
-//!   systems, frequency models, compute executors, NIC + fabric) and routes
-//!   engine events to their subsystems;
+//! * [`Cluster`] — owns the whole simulated world (N identical nodes:
+//!   memory systems, frequency models, compute executors, NIC + routed
+//!   fabric) and routes engine events to their subsystems;
 //! * MPI-flavoured non-blocking point-to-point operations
-//!   ([`Cluster::isend`] / [`Cluster::irecv`]) with FIFO tag matching and an
-//!   unexpected-message queue;
+//!   ([`Cluster::isend_to`] / [`Cluster::irecv_from`]) with FIFO tag
+//!   matching and an unexpected-message queue; the paper's two-rank world is
+//!   the degenerate case ([`Cluster::isend`] / [`Cluster::irecv`] wrap the
+//!   N-rank path with `to = 1 - from`);
+//! * [`collective`] — deterministic round-based schedules (ring/tree
+//!   allreduce, binomial bcast, pairwise alltoall) executed as point-to-point
+//!   sends;
 //! * the [`pingpong`] benchmark (NetPIPE-style latency/bandwidth, §2.1);
 //! * a per-send **profiler** recording the sending-side bandwidth exactly as
 //!   the paper's §6 does ("the network bandwidth as perceived by the
@@ -18,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod collective;
 pub mod pingpong;
 
 use std::collections::VecDeque;
@@ -30,6 +36,7 @@ use netsim::{NetEvent, NetSim, NodeRef, TransferId};
 use simcore::faults::{FaultPlan, FaultPlanError};
 use simcore::telemetry::{self, Lane};
 use simcore::{tags, Engine, EngineError, Event, JitterFamily, SimTime};
+use topology::fabric::{Fabric, FabricSpec};
 use topology::{CoreId, MachineSpec, NumaId, Placement};
 
 /// A request handle for a non-blocking operation.
@@ -167,24 +174,24 @@ pub enum ClusterEvent {
     Other(Event),
 }
 
-/// The complete simulated world: two identical nodes plus the fabric.
+/// The complete simulated world: N identical nodes plus the routed fabric.
 pub struct Cluster {
     /// The discrete-event engine.
     pub engine: Engine,
-    /// Machine description shared by both nodes.
+    /// Machine description shared by all nodes.
     pub spec: MachineSpec,
     /// Per-node memory systems.
-    pub mem: [MemSystem; 2],
+    pub mem: Vec<MemSystem>,
     /// Per-node frequency models.
-    pub freqs: [FreqModel; 2],
+    pub freqs: Vec<FreqModel>,
     /// Per-node compute executors.
-    pub exec: [Executor; 2],
-    /// NIC + wire simulation.
+    pub exec: Vec<Executor>,
+    /// NIC + fabric simulation.
     pub net: NetSim,
     /// Communication-thread core of each node.
-    pub comm_core: [CoreId; 2],
+    pub comm_core: Vec<CoreId>,
     /// NUMA node holding communication buffers on each node.
-    pub data_numa: [NumaId; 2],
+    pub data_numa: Vec<NumaId>,
     sends: Vec<SendReq>,
     recvs: Vec<RecvReq>,
     /// Posted-but-unmatched receives.
@@ -198,44 +205,60 @@ pub struct Cluster {
     profiling: bool,
     /// Injected faults (empty when healthy); kept for straggler re-application.
     fault_plan: FaultPlan,
+    /// Reused by [`Cluster::refresh_uncore`] to avoid a per-event allocation.
+    uncore_scratch: Vec<f64>,
 }
 
 impl Cluster {
-    /// Build a cluster of two `spec` nodes under the given governor/uncore
-    /// policy and placement (applied symmetrically to both nodes).
+    /// Build the paper's cluster of two `spec` nodes joined by a direct wire
+    /// under the given governor/uncore policy and placement (applied
+    /// symmetrically to both nodes).
     pub fn new(
         spec: &MachineSpec,
         governor: Governor,
         uncore: UncorePolicy,
         placement: Placement,
     ) -> Cluster {
+        Cluster::with_fabric(spec, FabricSpec::direct().build(), governor, uncore, placement)
+    }
+
+    /// Build a cluster of `fabric.nodes()` identical `spec` nodes joined by
+    /// a routed fabric. All nodes share the governor/uncore policy and
+    /// placement; [`Cluster::new`] is the degenerate two-node direct-wire
+    /// case.
+    pub fn with_fabric(
+        spec: &MachineSpec,
+        fabric: Fabric,
+        governor: Governor,
+        uncore: UncorePolicy,
+        placement: Placement,
+    ) -> Cluster {
+        let nodes = fabric.nodes();
         let mut engine = Engine::new();
-        let mem = [
-            MemSystem::build(&mut engine, spec, "n0."),
-            MemSystem::build(&mut engine, spec, "n1."),
-        ];
+        let mem: Vec<MemSystem> = (0..nodes)
+            .map(|i| MemSystem::build(&mut engine, spec, format!("n{}.", i)))
+            .collect();
         let resolved = spec.resolve(placement);
-        let comm_core = [resolved.comm_core, resolved.comm_core];
-        let data_numa = [resolved.data_numa, resolved.data_numa];
-        let mut freqs = [
-            FreqModel::new(spec, governor, uncore),
-            FreqModel::new(spec, governor, uncore),
-        ];
+        let comm_core = vec![resolved.comm_core; nodes];
+        let data_numa = vec![resolved.data_numa; nodes];
+        let mut freqs: Vec<FreqModel> = (0..nodes)
+            .map(|_| FreqModel::new(spec, governor, uncore))
+            .collect();
         // The communication thread busy-polls from the start (MadMPI's
         // pioman): architecturally active but light.
         for (f, m) in freqs.iter_mut().zip(&mem) {
             f.set_activity(resolved.comm_core, Activity::Light);
             m.apply_freqs(&mut engine, f);
         }
-        let mut net = NetSim::build(&mut engine, spec);
-        let uncore = [freqs[0].uncore_freq(), freqs[1].uncore_freq()];
-        net.apply_uncore(&mut engine, spec, uncore);
+        let mut net = NetSim::build_fabric(&mut engine, spec, fabric);
+        let uncore: Vec<f64> = freqs.iter().map(|f| f.uncore_freq()).collect();
+        net.apply_uncore(&mut engine, spec, &uncore);
         Cluster {
             engine,
             spec: spec.clone(),
             mem,
             freqs,
-            exec: [Executor::new(0), Executor::new(1)],
+            exec: (0..nodes).map(|i| Executor::new(i as u32)).collect(),
             net,
             comm_core,
             data_numa,
@@ -247,7 +270,13 @@ impl Cluster {
             profile: Vec::new(),
             profiling: false,
             fault_plan: FaultPlan::default(),
+            uncore_scratch: Vec::with_capacity(nodes),
         }
+    }
+
+    /// Number of nodes (MPI ranks) in this cluster.
+    pub fn nodes(&self) -> usize {
+        self.mem.len()
     }
 
     /// Install a fault plan: network windows/drops go to [`NetSim`], and
@@ -327,8 +356,9 @@ impl Cluster {
     }
 
     fn refresh_uncore(&mut self) {
-        let u = [self.freqs[0].uncore_freq(), self.freqs[1].uncore_freq()];
-        self.net.apply_uncore(&mut self.engine, &self.spec, u);
+        self.uncore_scratch.clear();
+        self.uncore_scratch.extend(self.freqs.iter().map(|f| f.uncore_freq()));
+        self.net.apply_uncore(&mut self.engine, &self.spec, &self.uncore_scratch);
         // Straggler cores: cap the core's cycle budget below what the
         // frequency model just applied. Idempotent, so safe to re-run after
         // every frequency change.
@@ -340,11 +370,27 @@ impl Cluster {
         }
     }
 
-    /// Non-blocking send of `size` bytes from `from` to the other node.
+    /// Non-blocking send of `size` bytes from `from` to the other node of a
+    /// two-node cluster. Degenerate case of [`Cluster::isend_to`].
     /// `buffer` keys the registration cache; reuse it to model the paper's
     /// recycled ping-pong buffers.
     pub fn isend(&mut self, from: usize, size: usize, mtag: u32, buffer: u64) -> ReqId {
-        let to = 1 - from;
+        debug_assert_eq!(self.nodes(), 2, "isend() addresses `1 - from`; use isend_to");
+        self.isend_to(from, 1 - from, size, mtag, buffer)
+    }
+
+    /// Non-blocking send of `size` bytes from rank `from` to rank `to`.
+    /// `buffer` keys the registration cache; reuse it to model recycled
+    /// communication buffers.
+    pub fn isend_to(
+        &mut self,
+        from: usize,
+        to: usize,
+        size: usize,
+        mtag: u32,
+        buffer: u64,
+    ) -> ReqId {
+        assert!(from != to, "self-sends never touch the fabric");
         let transfer = {
             let nref = NodeRef {
                 mem: &self.mem[from],
@@ -354,6 +400,7 @@ impl Cluster {
             self.net.start_send(
                 &mut self.engine,
                 from,
+                to,
                 &nref,
                 size,
                 self.data_numa[from],
@@ -391,9 +438,16 @@ impl Cluster {
         req
     }
 
-    /// Non-blocking receive at `node` from the other node with tag `mtag`.
+    /// Non-blocking receive at `node` from the other node of a two-node
+    /// cluster with tag `mtag`. Degenerate case of [`Cluster::irecv_from`].
     pub fn irecv(&mut self, node: usize, mtag: u32) -> ReqId {
-        let src = 1 - node;
+        debug_assert_eq!(self.nodes(), 2, "irecv() addresses `1 - node`; use irecv_from");
+        self.irecv_from(node, 1 - node, mtag)
+    }
+
+    /// Non-blocking receive at rank `node` from rank `src` with tag `mtag`.
+    pub fn irecv_from(&mut self, node: usize, src: usize, mtag: u32) -> ReqId {
+        assert!(node != src, "self-receives never touch the fabric");
         let req = ReqId(self.recvs.len() as u32);
         telemetry::async_begin(
             self.engine.now(),
@@ -504,24 +558,27 @@ impl Cluster {
             match simcore::namespace(ev.tag()) {
                 tags::ns::NET => {
                     let outs = {
-                        let n0 = NodeRef {
-                            mem: &self.mem[0],
-                            freqs: &self.freqs[0],
-                            comm_core: self.comm_core[0],
-                        };
-                        let n1 = NodeRef {
-                            mem: &self.mem[1],
-                            freqs: &self.freqs[1],
-                            comm_core: self.comm_core[1],
-                        };
-                        self.net.on_event(&mut self.engine, [&n0, &n1], &ev)
+                        let (mem, freqs, comm) = (&self.mem, &self.freqs, &self.comm_core);
+                        self.net.on_event(
+                            &mut self.engine,
+                            |i| NodeRef {
+                                mem: &mem[i],
+                                freqs: &freqs[i],
+                                comm_core: comm[i],
+                            },
+                            &ev,
+                        )
                     };
                     if let Some(out) = self.apply_net_events(outs) {
                         return Ok(Some(out));
                     }
                 }
                 tags::ns::COMPUTE => {
-                    let node = if self.exec[0].owns(ev.tag()) { 0 } else { 1 };
+                    let node = self
+                        .exec
+                        .iter()
+                        .position(|e| e.owns(ev.tag()))
+                        .expect("compute event has an owning executor");
                     let done = {
                         let (mem, freqs, exec) = (
                             &self.mem[node],
@@ -533,10 +590,11 @@ impl Cluster {
                     // Any frequency change may have moved uncore/NIC caps
                     // and other executors' rooflines.
                     self.refresh_uncore();
-                    let other = 1 - node;
-                    // Split-borrow safe: refresh the sibling executor's caps.
-                    let (m, f) = (&self.mem[other], &self.freqs[other]);
-                    self.exec[other].refresh_caps(&mut self.engine, m, f);
+                    // Split-borrow safe: refresh the sibling executors' caps.
+                    for other in (0..self.exec.len()).filter(|&o| o != node) {
+                        let (m, f) = (&self.mem[other], &self.freqs[other]);
+                        self.exec[other].refresh_caps(&mut self.engine, m, f);
+                    }
                     if let Some((job, stats)) = done {
                         return Ok(Some(ClusterEvent::JobDone { node, job, stats }));
                     }

@@ -1,6 +1,11 @@
 //! # netsim — NIC and fabric simulation
 //!
-//! Models the network path between two nodes:
+//! Models the network path between the nodes of a routed fabric (the
+//! degenerate two-node "direct" fabric is the paper's original wire; see
+//! `topology::fabric` for switch/torus/dragonfly). Each directed fabric
+//! link is one fluid resource, so a payload flow traverses sender memory →
+//! NIC TX → every link of its route → NIC RX → receiver memory and shares
+//! each hop through the max-min allocator. Per message:
 //!
 //! * **eager protocol** (small messages): the communication *core* copies
 //!   the payload into the NIC with programmed I/O — the bytes cross the
@@ -32,6 +37,7 @@ use simcore::telemetry::{self, Lane};
 use simcore::{
     kind_index, split_kind_index, tag, tags, Engine, FlowSpec, Pcg32, ResourceId, SimTime,
 };
+use topology::fabric::{Fabric, FabricSpec};
 use topology::{CoreId, MachineSpec, NetworkSpec, NumaId};
 
 /// Bytes a communication core moves per cycle in the PIO copy path.
@@ -152,6 +158,7 @@ impl Step {
 
 struct Transfer {
     from: usize,
+    to: usize,
     size: usize,
     data_numa: NumaId,
     dest_numa: NumaId,
@@ -174,25 +181,28 @@ struct Transfer {
     rto: SimTime,
 }
 
-/// The two-node network simulator.
+/// The fabric-wide network simulator.
 pub struct NetSim {
     cfg: NetworkSpec,
+    /// The routed fabric: link set + deterministic routing table.
+    fabric: Fabric,
     /// NIC egress (DMA/PIO injection) resource per node.
-    nic_tx: [ResourceId; 2],
+    nic_tx: Vec<ResourceId>,
     /// NIC ingress resource per node.
-    nic_rx: [ResourceId; 2],
-    /// Wire, per direction `[0→1, 1→0]`.
-    wire: [ResourceId; 2],
+    nic_rx: Vec<ResourceId>,
+    /// One fluid resource per directed fabric link, in `fabric.links()`
+    /// order.
+    links: Vec<ResourceId>,
     transfers: Vec<Option<Transfer>>,
     /// Parallel to `transfers`, kept after retirement for the profiler.
     retry_stats: Vec<RetryStats>,
-    reg_cache: [HashSet<u64>; 2],
+    reg_cache: Vec<HashSet<u64>>,
     lat_mult: f64,
     bw_mult: f64,
     idle_penalty_s: f64,
     /// Per-node DMA scale from the uncore frequency (managed by
     /// `apply_uncore`), composed with fault windows in `refresh_caps`.
-    uncore_scale: [f64; 2],
+    uncore_scale: Vec<f64>,
     /// Injected faults (empty plan when healthy).
     faults: FaultPlan,
     /// Which link-degradation windows are currently open.
@@ -210,36 +220,45 @@ pub struct NetSim {
 }
 
 impl NetSim {
-    /// Build NIC + wire resources for a two-node fabric of `spec` machines.
+    /// Build NIC + wire resources for the paper's two-node point-to-point
+    /// fabric of `spec` machines (the degenerate [`FabricSpec::direct`]
+    /// case — resource names and order are frozen by the golden traces).
     pub fn build(engine: &mut Engine, spec: &MachineSpec) -> NetSim {
+        Self::build_fabric(engine, spec, FabricSpec::direct().build())
+    }
+
+    /// Build NIC resources for every node of `fabric` plus one fluid
+    /// resource per directed fabric link.
+    pub fn build_fabric(engine: &mut Engine, spec: &MachineSpec, fabric: Fabric) -> NetSim {
         let cfg = spec.network.clone();
-        let nic_tx = [
-            engine.add_resource("n0.nic_tx", cfg.dma_bw),
-            engine.add_resource("n1.nic_tx", cfg.dma_bw),
-        ];
-        let nic_rx = [
-            engine.add_resource("n0.nic_rx", cfg.dma_bw),
-            engine.add_resource("n1.nic_rx", cfg.dma_bw),
-        ];
-        let wire = [
-            engine.add_resource("wire.0to1", cfg.link_bw),
-            engine.add_resource("wire.1to0", cfg.link_bw),
-        ];
+        let n = fabric.nodes();
+        let nic_tx: Vec<_> = (0..n)
+            .map(|i| engine.add_resource(format!("n{}.nic_tx", i), cfg.dma_bw))
+            .collect();
+        let nic_rx: Vec<_> = (0..n)
+            .map(|i| engine.add_resource(format!("n{}.nic_rx", i), cfg.dma_bw))
+            .collect();
+        let links: Vec<_> = fabric
+            .links()
+            .iter()
+            .map(|l| engine.add_resource(&l.name, cfg.link_bw * l.bw_scale))
+            .collect();
         // A generous default RTO: several wire round-trips, but far below
         // any experiment's total runtime.
         let rto_base = SimTime::from_secs_f64(cfg.wire_latency_s * 16.0).max(SimTime::US);
         NetSim {
             cfg,
+            fabric,
             nic_tx,
             nic_rx,
-            wire,
+            links,
             transfers: Vec::new(),
             retry_stats: Vec::new(),
-            reg_cache: [HashSet::new(), HashSet::new()],
+            reg_cache: vec![HashSet::new(); n],
             lat_mult: 1.0,
             bw_mult: 1.0,
             idle_penalty_s: spec.idle_uncore_penalty_s,
-            uncore_scale: [1.0, 1.0],
+            uncore_scale: vec![1.0; n],
             faults: FaultPlan::default(),
             degradation_active: Vec::new(),
             stalls_active: 0,
@@ -248,6 +267,16 @@ impl NetSim {
             rto_base,
             max_retries: DEFAULT_MAX_RETRIES,
         }
+    }
+
+    /// The routed fabric this simulator runs over.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Number of nodes on the fabric.
+    pub fn nodes(&self) -> usize {
+        self.nic_tx.len()
     }
 
     /// Network parameters in use.
@@ -265,8 +294,9 @@ impl NetSim {
     }
 
     /// Scale the DMA path with each node's uncore frequency (the ±4 %
-    /// bandwidth effect of §3.1).
-    pub fn apply_uncore(&mut self, engine: &mut Engine, spec: &MachineSpec, uncore: [f64; 2]) {
+    /// bandwidth effect of §3.1). `uncore` holds one frequency per node.
+    pub fn apply_uncore(&mut self, engine: &mut Engine, spec: &MachineSpec, uncore: &[f64]) {
+        assert_eq!(uncore.len(), self.uncore_scale.len());
         for (n, &u) in uncore.iter().enumerate() {
             let (lo, hi) = spec.uncore_range;
             let t = ((u - lo) / (hi - lo)).clamp(0.0, 1.0);
@@ -275,7 +305,7 @@ impl NetSim {
         self.refresh_caps(engine);
     }
 
-    /// Recompute wire and NIC capacities from the composition of jitter,
+    /// Recompute link and NIC capacities from the composition of jitter,
     /// uncore scaling and currently open fault windows.
     fn refresh_caps(&self, engine: &mut Engine) {
         let degrade: f64 = self
@@ -286,11 +316,11 @@ impl NetSim {
             .filter(|(_, &on)| on)
             .map(|(d, _)| d.factor)
             .product();
-        for w in self.wire {
-            engine.set_capacity(w, self.cfg.link_bw * self.bw_mult * degrade);
+        for (w, l) in self.links.iter().zip(self.fabric.links()) {
+            engine.set_capacity(*w, self.cfg.link_bw * l.bw_scale * self.bw_mult * degrade);
         }
         let nic_mult = if self.stalls_active > 0 { 0.0 } else { 1.0 };
-        for n in 0..2 {
+        for n in 0..self.nic_tx.len() {
             let cap = self.cfg.dma_bw * self.bw_mult * self.uncore_scale[n] * nic_mult;
             engine.set_capacity(self.nic_tx[n], cap);
             engine.set_capacity(self.nic_rx[n], cap);
@@ -335,18 +365,26 @@ impl NetSim {
         self.retry_stats[id.0 as usize]
     }
 
-    /// Total payload bytes actually delivered across the wire in either
-    /// direction (control messages are modelled as pure latency and carry no
-    /// wire volume). Retransmitted control bytes are tracked separately in
+    /// Total payload bytes actually delivered across the fabric links
+    /// (control messages are modelled as pure latency and carry no wire
+    /// volume). On a multi-hop fabric a payload is counted once per hop.
+    /// Retransmitted control bytes are tracked separately in
     /// [`RetryStats::retrans_bytes`].
     pub fn wire_delivered(&self, engine: &Engine) -> f64 {
-        self.wire.iter().map(|&w| engine.delivered(w)).sum()
+        self.links.iter().map(|&w| engine.delivered(w)).sum()
     }
 
-    /// Drop both registration caches (ablation hook).
+    /// Payload bytes delivered across one fabric link (index into
+    /// [`Fabric::links`]).
+    pub fn link_delivered(&self, engine: &Engine, link: usize) -> f64 {
+        engine.delivered(self.links[link])
+    }
+
+    /// Drop all registration caches (ablation hook).
     pub fn clear_reg_cache(&mut self) {
-        self.reg_cache[0].clear();
-        self.reg_cache[1].clear();
+        for c in &mut self.reg_cache {
+            c.clear();
+        }
     }
 
     fn step_tag(&self, id: TransferId, step: Step) -> u64 {
@@ -370,19 +408,22 @@ impl NetSim {
         SimTime::from_secs_f64(self.idle_penalty_s * fade * self.lat_mult)
     }
 
-    /// Begin a send of `size` bytes from `from_node`'s `data_numa` to the
-    /// other node's `dest_numa`. `buffer` keys the registration cache.
+    /// Begin a send of `size` bytes from `from_node`'s `data_numa` to
+    /// `to_node`'s `dest_numa`. `buffer` keys the registration cache.
     #[allow(clippy::too_many_arguments)]
     pub fn start_send(
         &mut self,
         engine: &mut Engine,
         from_node: usize,
+        to_node: usize,
         from: &NodeRef<'_>,
         size: usize,
         data_numa: NumaId,
         dest_numa: NumaId,
         buffer: u64,
     ) -> TransferId {
+        debug_assert!(from_node != to_node, "self-sends never touch the fabric");
+        debug_assert!(from_node < self.nodes() && to_node < self.nodes());
         let id = TransferId(self.transfers.len() as u32);
         telemetry::async_begin(
             engine.now(),
@@ -397,6 +438,7 @@ impl NetSim {
         );
         self.transfers.push(Some(Transfer {
             from: from_node,
+            to: to_node,
             size,
             data_numa,
             dest_numa,
@@ -442,17 +484,17 @@ impl NetSim {
 
     fn send_cts(&mut self, engine: &mut Engine, id: TransferId) {
         let tid = id.0 as usize;
-        let (resend, from) = {
+        let (resend, to) = {
             let t = self.transfers[tid].as_mut().expect("live transfer");
             let resend = t.cts_sent;
             t.cts_sent = true;
-            (resend, t.from)
+            (resend, t.to)
         };
         if resend {
             self.retry_stats[tid].retrans_bytes += CTRL_MSG_BYTES;
         }
         // The CTS originates on the receiver's node.
-        let cts_lane = Lane::Node(1 - from as u8);
+        let cts_lane = Lane::Node(to as u8);
         // Fault injection: the CTS may be lost on the wire. The sender's
         // retransmission timeout will eventually re-drive the handshake.
         if let Some(rng) = &mut self.drop_cts_rng {
@@ -467,12 +509,14 @@ impl NetSim {
         engine.after(lat, self.step_tag(id, Step::CtsArrived));
     }
 
-    /// Advance a transfer on one of our events. `nodes[i]` is the context
-    /// of node `i`. Returns surfaced events (send-complete / delivered).
-    pub fn on_event(
+    /// Advance a transfer on one of our events. `nodes(i)` returns the
+    /// context of node `i` (called lazily for the two endpoints of the
+    /// transfer, so an N-node cluster pays O(1) per event). Returns
+    /// surfaced events (send-complete / delivered).
+    pub fn on_event<'a>(
         &mut self,
         engine: &mut Engine,
-        nodes: [&NodeRef<'_>; 2],
+        nodes: impl Fn(usize) -> NodeRef<'a>,
         event: &simcore::Event,
     ) -> Vec<NetEvent> {
         debug_assert!(self.owns(event.tag()));
@@ -511,13 +555,12 @@ impl NetSim {
             _ => {}
         }
 
-        let (from, size, data_numa, dest_numa, buffer) = {
+        let (from, to, size, data_numa, dest_numa, buffer) = {
             let t = self.transfers[tid as usize].as_ref().expect("live transfer");
-            (t.from, t.size, t.data_numa, t.dest_numa, t.buffer)
+            (t.from, t.to, t.size, t.data_numa, t.dest_numa, t.buffer)
         };
-        let to = 1 - from;
-        let sender = nodes[from];
-        let receiver = nodes[to];
+        let sender = nodes(from);
+        let receiver = nodes(to);
 
         match step {
             Step::SendOverhead => {
@@ -569,7 +612,7 @@ impl NetSim {
                 let cap = PIO_BYTES_PER_CYCLE * f * 1e9;
                 let mut path = sender.mem.path(Requester::Core(sender.comm_core), data_numa);
                 path.push(self.nic_tx[from]);
-                path.push(self.wire[from]);
+                path.extend(self.fabric.route(from, to).iter().map(|&l| self.links[l as usize]));
                 path.push(self.nic_rx[to]);
                 path.extend(receiver.mem.path(Requester::Nic, dest_numa));
                 engine.start_flow(FlowSpec {
@@ -631,7 +674,7 @@ impl NetSim {
                 // outstanding-request aggressiveness.
                 let mut path = sender.mem.path(Requester::Nic, data_numa);
                 path.push(self.nic_tx[from]);
-                path.push(self.wire[from]);
+                path.extend(self.fabric.route(from, to).iter().map(|&l| self.links[l as usize]));
                 path.push(self.nic_rx[to]);
                 path.extend(receiver.mem.path(Requester::Nic, dest_numa));
                 engine.start_flow(FlowSpec {
@@ -814,7 +857,7 @@ mod tests {
                 comm_core: w.comm_core,
             };
             w.net
-                .start_send(&mut w.engine, 0, &n0, size, NumaId(0), NumaId(0), buffer)
+                .start_send(&mut w.engine, 0, 1, &n0, size, NumaId(0), NumaId(0), buffer)
         };
         w.net.recv_ready(&mut w.engine, id);
         let mut delivered = None;
@@ -822,17 +865,16 @@ mod tests {
         while delivered.is_none() {
             let ev = w.engine.next().expect("progress");
             if w.net.owns(ev.tag()) {
-                let n0 = NodeRef {
-                    mem: &w.mem[0],
-                    freqs: &w.freqs[0],
-                    comm_core: w.comm_core,
-                };
-                let n1 = NodeRef {
-                    mem: &w.mem[1],
-                    freqs: &w.freqs[1],
-                    comm_core: w.comm_core,
-                };
-                for out in w.net.on_event(&mut w.engine, [&n0, &n1], &ev) {
+                let (mem, freqs, cc) = (&w.mem, &w.freqs, w.comm_core);
+                for out in w.net.on_event(
+                    &mut w.engine,
+                    |i| NodeRef {
+                        mem: &mem[i],
+                        freqs: &freqs[i],
+                        comm_core: cc,
+                    },
+                    &ev,
+                ) {
                     match out {
                         NetEvent::SendComplete { sender_elapsed, .. } => {
                             send_el = Some(sender_elapsed)
@@ -955,11 +997,11 @@ mod tests {
     fn uncore_scales_dma_capacity() {
         let mut w = world();
         let spec = henri();
-        w.net.apply_uncore(&mut w.engine, &spec, [1.2, 1.2]);
+        w.net.apply_uncore(&mut w.engine, &spec, &[1.2, 1.2]);
         let size = 64 * 1024 * 1024;
         let (_, _) = one_way(&mut w, size, 3);
         let (low, _) = one_way(&mut w, size, 3);
-        w.net.apply_uncore(&mut w.engine, &spec, [2.4, 2.4]);
+        w.net.apply_uncore(&mut w.engine, &spec, &[2.4, 2.4]);
         let (high, _) = one_way(&mut w, size, 3);
         let bw_low = size as f64 / low.as_secs_f64();
         let bw_high = size as f64 / high.as_secs_f64();
@@ -978,7 +1020,7 @@ mod tests {
                 comm_core: w.comm_core,
             };
             w.net
-                .start_send(&mut w.engine, 0, &n0, size, NumaId(0), NumaId(0), buffer)
+                .start_send(&mut w.engine, 0, 1, &n0, size, NumaId(0), NumaId(0), buffer)
         };
         w.net.recv_ready(&mut w.engine, id);
         let mut delivered = false;
@@ -986,17 +1028,16 @@ mod tests {
         while !delivered && !failed {
             let Some(ev) = w.engine.next() else { break };
             if w.net.owns(ev.tag()) {
-                let n0 = NodeRef {
-                    mem: &w.mem[0],
-                    freqs: &w.freqs[0],
-                    comm_core: w.comm_core,
-                };
-                let n1 = NodeRef {
-                    mem: &w.mem[1],
-                    freqs: &w.freqs[1],
-                    comm_core: w.comm_core,
-                };
-                for out in w.net.on_event(&mut w.engine, [&n0, &n1], &ev) {
+                let (mem, freqs, cc) = (&w.mem, &w.freqs, w.comm_core);
+                for out in w.net.on_event(
+                    &mut w.engine,
+                    |i| NodeRef {
+                        mem: &mem[i],
+                        freqs: &freqs[i],
+                        comm_core: cc,
+                    },
+                    &ev,
+                ) {
                     match out {
                         NetEvent::Delivered { .. } => delivered = true,
                         NetEvent::Failed { .. } => failed = true,
@@ -1131,6 +1172,123 @@ mod tests {
         assert_eq!(t_base, faulted.engine.now());
     }
 
+    /// A 4-node world over an arbitrary fabric (every node reuses the same
+    /// MemSystem/FreqModel layout; the fabric is what differs).
+    struct FabricWorld {
+        engine: Engine,
+        mem: Vec<MemSystem>,
+        freqs: Vec<FreqModel>,
+        net: NetSim,
+        comm_core: CoreId,
+    }
+
+    fn fabric_world(fabric: topology::fabric::Fabric) -> FabricWorld {
+        let spec = henri();
+        let comm_core = CoreId(8);
+        let mut engine = Engine::new();
+        let n = fabric.nodes();
+        let mem: Vec<_> = (0..n)
+            .map(|i| MemSystem::build(&mut engine, &spec, format!("n{}.", i)))
+            .collect();
+        let mut freqs: Vec<_> = (0..n)
+            .map(|_| FreqModel::new(&spec, Governor::Userspace(2.3), UncorePolicy::Fixed(2.4)))
+            .collect();
+        for (f, m) in freqs.iter_mut().zip(&mem) {
+            f.set_activity(comm_core, Activity::Light);
+            m.apply_freqs(&mut engine, f);
+        }
+        let net = NetSim::build_fabric(&mut engine, &spec, fabric);
+        FabricWorld {
+            engine,
+            mem,
+            freqs,
+            net,
+            comm_core,
+        }
+    }
+
+    /// Drive one `src → dst` message to delivery on a fabric world.
+    fn fabric_one_way(w: &mut FabricWorld, src: usize, dst: usize, size: usize, buffer: u64) {
+        let id = {
+            let nref = NodeRef {
+                mem: &w.mem[src],
+                freqs: &w.freqs[src],
+                comm_core: w.comm_core,
+            };
+            w.net
+                .start_send(&mut w.engine, src, dst, &nref, size, NumaId(0), NumaId(0), buffer)
+        };
+        w.net.recv_ready(&mut w.engine, id);
+        let mut delivered = false;
+        while !delivered {
+            let ev = w.engine.next().expect("progress");
+            if w.net.owns(ev.tag()) {
+                let (mem, freqs, cc) = (&w.mem, &w.freqs, w.comm_core);
+                for out in w.net.on_event(
+                    &mut w.engine,
+                    |i| NodeRef {
+                        mem: &mem[i],
+                        freqs: &freqs[i],
+                        comm_core: cc,
+                    },
+                    &ev,
+                ) {
+                    if matches!(out, NetEvent::Delivered { .. }) {
+                        delivered = true;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_hop_routes_conserve_bytes_per_link() {
+        use topology::fabric::FabricPreset;
+        // Send distinct payloads across every fabric preset and assert each
+        // link delivered exactly the bytes of the messages routed over it.
+        for preset in FabricPreset::ALL {
+            let fabric = preset.spec(8).build_for(8);
+            let mut w = fabric_world(fabric);
+            let msgs = [(0usize, 5usize, 4096usize), (3, 6, 100_000), (7, 1, 64)];
+            let mut expect = vec![0.0f64; w.net.fabric().links().len()];
+            for (i, &(s, d, size)) in msgs.iter().enumerate() {
+                fabric_one_way(&mut w, s, d, size, 1000 + i as u64);
+                for &l in w.net.fabric().route(s, d) {
+                    expect[l as usize] += (size as f64).max(1.0);
+                }
+            }
+            for (l, &want) in expect.iter().enumerate() {
+                let got = w.net.link_delivered(&w.engine, l);
+                // Event times are quantized to picoseconds, so a flow may
+                // overshoot its volume by up to rate × 1 ps at completion.
+                let quantum = w.net.fabric().links()[l].bw_scale * 12.08e9 * 1e-12;
+                let slack = quantum * msgs.len() as f64 + 1e-9;
+                assert!(
+                    (got - want).abs() <= slack,
+                    "{}: link {} delivered {} expected {} (slack {})",
+                    preset.name(),
+                    w.net.fabric().links()[l].name,
+                    got,
+                    want,
+                    slack
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn switch_vs_direct_same_message_same_protocol_times() {
+        // On an uncontended path the extra switch hop only adds a bandwidth
+        // resource (latency is end-to-end), so eager latency matches the
+        // direct wire.
+        let mut direct = world_with_comm_core(CoreId(8));
+        let (d_lat, _) = one_way(&mut direct, 4096, 1);
+        let mut sw = fabric_world(FabricSpec::switch().build_for(2));
+        fabric_one_way(&mut sw, 0, 1, 4096, 1);
+        let s_lat = sw.engine.now();
+        assert_eq!(d_lat, s_lat, "direct {:?} switch {:?}", d_lat, s_lat);
+    }
+
     #[test]
     fn rendezvous_waits_for_receiver() {
         // Without recv_ready the transfer must stall at the RTS.
@@ -1142,23 +1300,22 @@ mod tests {
                 comm_core: w.comm_core,
             };
             w.net
-                .start_send(&mut w.engine, 0, &n0, 1 << 20, NumaId(0), NumaId(0), 77)
+                .start_send(&mut w.engine, 0, 1, &n0, 1 << 20, NumaId(0), NumaId(0), 77)
         };
         let mut delivered = false;
         let drain = |w: &mut World, delivered: &mut bool| {
             while let Some(ev) = w.engine.next() {
                 if w.net.owns(ev.tag()) {
-                    let n0 = NodeRef {
-                        mem: &w.mem[0],
-                        freqs: &w.freqs[0],
-                        comm_core: w.comm_core,
-                    };
-                    let n1 = NodeRef {
-                        mem: &w.mem[1],
-                        freqs: &w.freqs[1],
-                        comm_core: w.comm_core,
-                    };
-                    for out in w.net.on_event(&mut w.engine, [&n0, &n1], &ev) {
+                    let (mem, freqs, cc) = (&w.mem, &w.freqs, w.comm_core);
+                    for out in w.net.on_event(
+                        &mut w.engine,
+                        |i| NodeRef {
+                            mem: &mem[i],
+                            freqs: &freqs[i],
+                            comm_core: cc,
+                        },
+                        &ev,
+                    ) {
                         if matches!(out, NetEvent::Delivered { .. }) {
                             *delivered = true;
                         }

@@ -59,23 +59,19 @@ fn one_way(w: &mut World, size: usize, buffer: u64) -> SimTime {
             comm_core: w.comm_core,
         };
         w.net
-            .start_send(&mut w.engine, 0, &n0, size, NumaId(0), NumaId(0), buffer)
+            .start_send(&mut w.engine, 0, 1, &n0, size, NumaId(0), NumaId(0), buffer)
     };
     w.net.recv_ready(&mut w.engine, id);
     loop {
         let ev = w.engine.next().expect("progress");
         if w.net.owns(ev.tag()) {
-            let n0 = NodeRef {
-                mem: &w.mem[0],
-                freqs: &w.freqs[0],
-                comm_core: w.comm_core,
+            let (mem, freqs, cc) = (&w.mem, &w.freqs, w.comm_core);
+            let nodes = |i: usize| NodeRef {
+                mem: &mem[i],
+                freqs: &freqs[i],
+                comm_core: cc,
             };
-            let n1 = NodeRef {
-                mem: &w.mem[1],
-                freqs: &w.freqs[1],
-                comm_core: w.comm_core,
-            };
-            for out in w.net.on_event(&mut w.engine, [&n0, &n1], &ev) {
+            for out in w.net.on_event(&mut w.engine, nodes, &ev) {
                 if matches!(out, NetEvent::Delivered { .. }) {
                     return w.engine.now() - start;
                 }
@@ -92,17 +88,13 @@ fn one_way(w: &mut World, size: usize, buffer: u64) -> SimTime {
 fn drain(w: &mut World) {
     while let Some(ev) = w.engine.next() {
         if w.net.owns(ev.tag()) {
-            let n0 = NodeRef {
-                mem: &w.mem[0],
-                freqs: &w.freqs[0],
-                comm_core: w.comm_core,
+            let (mem, freqs, cc) = (&w.mem, &w.freqs, w.comm_core);
+            let nodes = |i: usize| NodeRef {
+                mem: &mem[i],
+                freqs: &freqs[i],
+                comm_core: cc,
             };
-            let n1 = NodeRef {
-                mem: &w.mem[1],
-                freqs: &w.freqs[1],
-                comm_core: w.comm_core,
-            };
-            let _ = w.net.on_event(&mut w.engine, [&n0, &n1], &ev);
+            let _ = w.net.on_event(&mut w.engine, nodes, &ev);
         }
     }
 }

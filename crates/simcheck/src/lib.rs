@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod collective;
 pub mod fuzz;
 pub mod metamorphic;
 pub mod oracles;

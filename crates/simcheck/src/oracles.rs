@@ -231,7 +231,7 @@ fn one_way(w: &mut World, size: usize, buffer: u64) -> f64 {
         };
         let nic = w.mem[0].spec().nic_numa;
         w.net
-            .start_send(&mut w.engine, 0, &n0, size, nic, nic, buffer)
+            .start_send(&mut w.engine, 0, 1, &n0, size, nic, nic, buffer)
     };
     w.net.recv_ready(&mut w.engine, id);
     loop {
@@ -239,17 +239,13 @@ fn one_way(w: &mut World, size: usize, buffer: u64) -> f64 {
         if !w.net.owns(ev.tag()) {
             continue;
         }
-        let n0 = NodeRef {
-            mem: &w.mem[0],
-            freqs: &w.freqs[0],
-            comm_core: w.comm_core,
+        let (mem, freqs, cc) = (&w.mem, &w.freqs, w.comm_core);
+        let nodes = |i: usize| NodeRef {
+            mem: &mem[i],
+            freqs: &freqs[i],
+            comm_core: cc,
         };
-        let n1 = NodeRef {
-            mem: &w.mem[1],
-            freqs: &w.freqs[1],
-            comm_core: w.comm_core,
-        };
-        for out in w.net.on_event(&mut w.engine, [&n0, &n1], &ev) {
+        for out in w.net.on_event(&mut w.engine, nodes, &ev) {
             if let NetEvent::Delivered { .. } = out {
                 return (w.engine.now() - start).as_secs_f64();
             }

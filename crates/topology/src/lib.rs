@@ -9,9 +9,11 @@
 
 #![warn(missing_docs)]
 
+pub mod fabric;
 pub mod machine;
 pub mod presets;
 
+pub use fabric::{Fabric, FabricKind, FabricPreset, FabricSpec, LinkIdx, LinkSpec};
 pub use machine::{
     BindingPolicy, CoreId, MachineSpec, NetworkKind, NetworkSpec, NumaId, Placement, SocketId,
     TopologyError,

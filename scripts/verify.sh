@@ -34,10 +34,13 @@ cargo run --release -p bench --bin repro -- --quick --validate --fuzz-budget 60 
 echo "==> allocator bench smoke: incremental vs reference solver"
 cargo bench -p bench --features bench-harness --bench fluid
 
-echo "==> engine scaling smoke: events/sec floor at small node counts"
-# Small sizes + a deliberately loose floor: this catches order-of-magnitude
-# regressions in the event queue / batching / solver hot path, not noise.
+echo "==> engine + allreduce scaling smoke: events/sec floors"
+# Small sizes + deliberately loose floors: this catches order-of-magnitude
+# regressions in the event queue / batching / solver hot path (synthetic
+# section) and in the full mpisim/netsim/fabric stack (ring allreduce at
+# 8->256 ranks), not noise.
 SCALING_NODES=64,256 SCALING_REPS=3 SCALING_FLOOR_EVENTS_PER_SEC=20000 \
+  SCALING_ALLREDUCE_RANKS=8,64,256 SCALING_ALLREDUCE_FLOOR_EVENTS_PER_SEC=5000 \
   cargo bench -p bench --features bench-harness --bench scaling
 
 echo "==> OK: build, tests, lints and repro smoke all green"

@@ -17,10 +17,12 @@ mod support;
 use freq::{Governor, UncorePolicy};
 use interference::campaign::{run_points_with, run_set_with_report, CampaignOptions};
 use interference::experiments::{self, Fidelity};
+use mpisim::collective::{self, Schedule};
 use mpisim::pingpong::{self, PingPongConfig};
 use mpisim::Cluster;
 use simcore::telemetry::{self, RecordKind};
 use simcore::{FaultPlan, SimTime};
+use topology::fabric::FabricPreset;
 use topology::{henri, BindingPolicy, Placement};
 
 fn cluster() -> Cluster {
@@ -124,6 +126,67 @@ fn rendezvous_cts_drop_journal_matches_golden() {
                 .count();
             assert!(drops > 0, "drop instants must be recorded");
             assert_golden("rendezvous_cts_drop", &j.to_text());
+        })
+        .join()
+        .expect("test thread");
+    });
+}
+
+/// A pinned 8-rank switch cluster, matching the simcheck collective
+/// oracles' world.
+fn ring_cluster() -> Cluster {
+    let spec = henri();
+    Cluster::with_fabric(
+        &spec,
+        FabricPreset::Switch.spec(8).build_for(8),
+        Governor::Userspace(2.3),
+        UncorePolicy::Fixed(2.4),
+        Placement {
+            comm_thread: BindingPolicy::NearNic,
+            data: BindingPolicy::NearNic,
+        },
+    )
+}
+
+/// 8-rank ring allreduce (256 KiB payload, 32 KiB eager chunks) through a
+/// mid-run link-degradation window: the journal pins the collective's
+/// round structure, every rank's eager timeline, and the fault edges
+/// where all link rates drop to 40% and recover mid-sweep.
+#[test]
+fn ring_allreduce_degraded_journal_matches_golden() {
+    let sched = Schedule::ring_allreduce(8, 256 << 10);
+    // Healthy reference first (no recorder): the window must land inside
+    // the run and must actually cost time, or the fixture pins nothing.
+    let healthy = collective::run(&mut ring_cluster(), &sched, 0x200, 0x4000)
+        .expect("healthy collective completes");
+    let window = (SimTime(20_000_000), SimTime(50_000_000)); // [20 us, 50 us)
+    assert!(healthy > window.1, "degradation window must end mid-run");
+
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            telemetry::install();
+            let mut c = ring_cluster();
+            c.apply_faults(&FaultPlan::new(11).with_link_degradation(window.0, window.1, 0.4))
+                .expect("valid plan");
+            let degraded = collective::run(&mut c, &sched, 0x200, 0x4000)
+                .expect("degraded collective completes");
+            assert!(
+                degraded > healthy,
+                "running 30 us at 40% link rate must cost time ({:?} vs {:?})",
+                degraded,
+                healthy
+            );
+            drop(c);
+            let j = telemetry::take().expect("recorder installed");
+            let edges = |name: &str| {
+                j.records
+                    .iter()
+                    .filter(|r| matches!(&r.kind, RecordKind::Instant { name: n, .. } if *n == name))
+                    .count()
+            };
+            assert_eq!(edges("link.degrade"), 1, "one degradation onset");
+            assert_eq!(edges("link.restore"), 1, "one recovery");
+            assert_golden("ring_allreduce_degraded", &j.to_text());
         })
         .join()
         .expect("test thread");

@@ -8,7 +8,7 @@ use interference::results::figures_to_json;
 /// The registry's names, in `run_all` / `run_extensions` order. This list
 /// is load-bearing: `repro --only` and the CSV/JSON exports key off these
 /// names, and the order fixes the figure order of `repro --all`.
-const EXPECTED: [&str; 15] = [
+const EXPECTED: [&str; 17] = [
     "fig1",
     "fig2",
     "fig3",
@@ -24,6 +24,8 @@ const EXPECTED: [&str; 15] = [
     "ablations",
     "overlap",
     "faulted_pingpong",
+    "collective_contention",
+    "collective_dvfs",
 ];
 
 #[test]
