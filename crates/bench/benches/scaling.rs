@@ -27,9 +27,13 @@
 //!   SCALING_REPS                repetitions per size (default 5)
 //!   SCALING_ROUNDS              transfer rounds per node (default 4)
 //!   SCALING_FLOOR_EVENTS_PER_SEC  exit 1 if any size's median falls below
-//!   SCALING_ALLREDUCE_RANKS     comma list of rank counts (default 8,64,256)
+//!   SCALING_ALLREDUCE_RANKS     comma list of rank counts (default 8,64,256,1024)
 //!   SCALING_ALLREDUCE_FLOOR_EVENTS_PER_SEC  exit 1 if any rank count's
 //!                               median falls below
+//!   SCALING_ALLREDUCE_MAX_WALL_S  exit 1 if any rank count's median wall
+//!                               time exceeds this (the 1k-rank gate)
+//!   SCALING_COLLECTIVE_ROWS     comma list of alg:ranks rows for the other
+//!                               collectives (default bcast:256,alltoall:64)
 //!   SCALING_OUT                 write the JSON table to this path
 //!
 //! Run with: `cargo bench -p bench --features bench-harness --bench scaling`
@@ -37,7 +41,7 @@
 use std::time::Instant;
 
 use freq::{Governor, UncorePolicy};
-use mpisim::collective::{self, Schedule};
+use mpisim::collective::{self, Algorithm};
 use mpisim::Cluster;
 use simcore::{telemetry, Engine, Event, FlowSpec, Pcg32, SimTime, TimerId};
 use topology::fabric::FabricPreset;
@@ -149,12 +153,13 @@ fn run_scenario(nodes: usize, rounds: u64) -> RunResult {
 /// eager-path size (per-chunk size shrinks with the rank count).
 const ALLREDUCE_PAYLOAD: usize = 256 << 10;
 
-/// One ring allreduce across `ranks` tiny2x2 nodes on the switch fabric —
-/// the full mpisim/netsim/fabric stack, not the bare engine. Events come
-/// from the engine's telemetry counter; `flow_events` reports the
-/// schedule's point-to-point message count.
-fn run_allreduce(ranks: usize) -> RunResult {
-    let sched = Schedule::ring_allreduce(ranks, ALLREDUCE_PAYLOAD);
+/// One collective across `ranks` tiny2x2 nodes on the switch fabric — the
+/// full mpisim/netsim/fabric stack, not the bare engine. Events come from
+/// the engine's telemetry counter; `flow_events` reports the schedule's
+/// point-to-point message count. Schedules come from the verified cache,
+/// so repetitions measure the simulation, not schedule compilation.
+fn run_collective(alg: Algorithm, ranks: usize, payload: usize) -> RunResult {
+    let sched = collective::cached(alg, ranks, payload);
     let messages = sched.total_messages() as u64;
     telemetry::install();
     let spec = tiny2x2();
@@ -287,11 +292,14 @@ fn main() {
 
     // Full-stack column: ring allreduce over the switch fabric.
     let ranks: Vec<usize> = std::env::var("SCALING_ALLREDUCE_RANKS")
-        .unwrap_or_else(|_| "8,64,256".into())
+        .unwrap_or_else(|_| "8,64,256,1024".into())
         .split(',')
         .filter_map(|s| s.trim().parse().ok())
         .collect();
     let ar_floor = std::env::var("SCALING_ALLREDUCE_FLOOR_EVENTS_PER_SEC")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok());
+    let ar_max_wall = std::env::var("SCALING_ALLREDUCE_MAX_WALL_S")
         .ok()
         .and_then(|v| v.parse::<f64>().ok());
 
@@ -305,7 +313,9 @@ fn main() {
     );
     out.push_str("  \"allreduce\": [\n");
     for (ri, &n) in ranks.iter().enumerate() {
-        let runs: Vec<RunResult> = (0..reps).map(|_| run_allreduce(n)).collect();
+        let runs: Vec<RunResult> = (0..reps)
+            .map(|_| run_collective(Algorithm::RingAllreduce, n, ALLREDUCE_PAYLOAD))
+            .collect();
         let mut ev_rates: Vec<f64> = runs
             .iter()
             .map(|r| r.events as f64 / r.wall_s.max(1e-9))
@@ -351,6 +361,82 @@ fn main() {
                 failed = true;
             }
         }
+        if let Some(limit) = ar_max_wall {
+            let mut walls: Vec<f64> = runs.iter().map(|r| r.wall_s).collect();
+            walls.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let med_wall = median(&walls);
+            if med_wall > limit {
+                eprintln!(
+                    "FAIL: {} ranks: median allreduce wall {:.1} s over limit {:.1} s",
+                    n, med_wall, limit
+                );
+                failed = true;
+            }
+        }
+    }
+    out.push_str("  ],\n");
+
+    // Other collective shapes: binomial bcast and pairwise alltoall rows.
+    // Payloads match the collective_contention experiment (32 KiB tree-ish
+    // control payloads, 128 KiB per-pair alltoall).
+    let rows: Vec<(Algorithm, &str, usize, usize)> = std::env::var("SCALING_COLLECTIVE_ROWS")
+        .unwrap_or_else(|_| "bcast:256,alltoall:64".into())
+        .split(',')
+        .filter_map(|row| {
+            let (alg, ranks) = row.trim().split_once(':')?;
+            let ranks: usize = ranks.parse().ok()?;
+            match alg {
+                "bcast" => Some((Algorithm::BinomialBcast, "bcast", ranks, 32 << 10)),
+                "alltoall" => Some((Algorithm::PairwiseAlltoall, "alltoall", ranks, 128 << 10)),
+                _ => None,
+            }
+        })
+        .collect();
+
+    println!("collective scaling: {} reps, rows {:?}", reps, rows.iter().map(|r| (r.1, r.2)).collect::<Vec<_>>());
+    println!(
+        "{:>10} {:>6} {:>10} {:>8} {:>12} {:>10} {:>8}",
+        "alg", "ranks", "events", "wall_s", "events/s", "messages", "spread"
+    );
+    out.push_str("  \"collectives\": [\n");
+    for (ri, &(alg, name, n, payload)) in rows.iter().enumerate() {
+        let runs: Vec<RunResult> = (0..reps).map(|_| run_collective(alg, n, payload)).collect();
+        let mut ev_rates: Vec<f64> = runs
+            .iter()
+            .map(|r| r.events as f64 / r.wall_s.max(1e-9))
+            .collect();
+        ev_rates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let med_ev = median(&ev_rates);
+        let spread_pct =
+            100.0 * (ev_rates[ev_rates.len() - 1] - ev_rates[0]) / med_ev.max(1e-9);
+
+        println!(
+            "{:>10} {:>6} {:>10} {:>8.3} {:>12.0} {:>10} {:>7.1}%",
+            name, n, runs[0].events, runs[0].wall_s, med_ev, runs[0].flow_events, spread_pct
+        );
+
+        let rep_json: Vec<String> = runs
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{ \"wall_s\": {:.6}, \"events\": {}, \"collective_us\": {:.3} }}",
+                    r.wall_s,
+                    r.events,
+                    r.sim_end.0 as f64 * 1e-6
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "    {{ \"alg\": \"{}\", \"ranks\": {}, \"payload\": {}, \"messages\": {}, \"median_events_per_s\": {:.0}, \"spread_pct\": {:.1}, \"reps\": [{}] }}{}\n",
+            name,
+            n,
+            payload,
+            runs[0].flow_events,
+            med_ev,
+            spread_pct,
+            rep_json.join(", "),
+            if ri + 1 == rows.len() { "" } else { "," }
+        ));
     }
     out.push_str("  ]\n}\n");
 

@@ -396,6 +396,7 @@ fn print_timings(
         }
         None => println!("   journal: disabled (enable with --trace FILE)"),
     }
+    print_collective_path(report.journal.as_ref());
     if let Some(s) = store {
         println!("== result store ==");
         println!(
@@ -448,6 +449,45 @@ fn print_engine_throughput(j: &simcore::Journal, busy_s: f64) {
         println!("   parallel solver: {} component(s) solved in parallel", par);
     } else {
         println!("   parallel solver: not engaged (workload below threshold)");
+    }
+}
+
+/// Collective fast-path digest: message-matching bin hits vs probe scans,
+/// route-interning hits, waterfill fast-path engagements (all from the
+/// journal, so they need `--trace`), and the schedule-memoization cache
+/// (process-global atomics, so always available).
+fn print_collective_path(j: Option<&simcore::Journal>) {
+    let cache = mpisim::collective::cache_stats();
+    let c = |name: &str| {
+        j.and_then(|j| j.counters.get(name).copied()).unwrap_or(0)
+    };
+    let probes = c("mpi.match.probes");
+    let hits = c("mpi.match.bin_hit");
+    let routes = c("net.route.intern_hit");
+    let waterfill = c("fluid.waterfill");
+    if cache.hits + cache.misses == 0 && probes + routes + waterfill == 0 {
+        return;
+    }
+    println!("== collective path ==");
+    if probes > 0 {
+        println!(
+            "   matching: {} bin hit(s) in {} probe(s) ({:.2} probes/match)",
+            hits,
+            probes,
+            if hits > 0 { probes as f64 / hits as f64 } else { 0.0 }
+        );
+    }
+    if routes > 0 {
+        println!("   routes: {} interned-path hit(s)", routes);
+    }
+    if cache.hits + cache.misses > 0 {
+        println!(
+            "   schedule cache: {} hit(s), {} miss(es) (built + proved once each)",
+            cache.hits, cache.misses
+        );
+    }
+    if waterfill > 0 {
+        println!("   waterfill: {} single-flow fast-path solve(s)", waterfill);
     }
 }
 
@@ -528,6 +568,23 @@ fn timings_json(
     } else {
         out.push('}');
     }
+    let cache = mpisim::collective::cache_stats();
+    let c = |name: &str| {
+        report
+            .journal
+            .as_ref()
+            .and_then(|j| j.counters.get(name).copied())
+            .unwrap_or(0)
+    };
+    out.push_str(&format!(
+        ",\"collective\":{{\"match_probes\":{},\"match_bin_hits\":{},\"route_intern_hits\":{},\"schedule_cache_hits\":{},\"schedule_cache_misses\":{},\"waterfill_solves\":{}}}",
+        c("mpi.match.probes"),
+        c("mpi.match.bin_hit"),
+        c("net.route.intern_hit"),
+        cache.hits,
+        cache.misses,
+        c("fluid.waterfill"),
+    ));
     out.push_str("}\n");
     out
 }

@@ -23,7 +23,9 @@
 use kernels::stream::{workload, StreamKernel};
 
 use freq::{Governor, UncorePolicy};
-use mpisim::collective::{self, Schedule};
+use std::sync::Arc;
+
+use mpisim::collective::{self, Algorithm, Schedule};
 use mpisim::Cluster;
 use simcore::{Series, SimTime};
 use topology::fabric::FabricPreset;
@@ -117,13 +119,15 @@ impl Alg {
     /// rendezvous regime (DMA vs STREAM on the memory controller) and keep
     /// the 64-rank cases cheap: the ring chunks are eager, the tree
     /// payload is a single rendezvous message per edge.
-    fn schedule(self, scale: Scale) -> Schedule {
+    fn schedule(self, scale: Scale) -> Arc<Schedule> {
         let n = scale.ranks();
         match (self, scale) {
-            (Alg::Ring, Scale::Henri8) => Schedule::ring_allreduce(n, 1 << 20),
-            (Alg::Ring, Scale::Tiny64) => Schedule::ring_allreduce(n, 256 << 10),
-            (Alg::Tree, _) => Schedule::tree_allreduce(n, 32 << 10),
-            (Alg::Alltoall, _) => Schedule::pairwise_alltoall(n, 128 << 10),
+            (Alg::Ring, Scale::Henri8) => collective::cached(Algorithm::RingAllreduce, n, 1 << 20),
+            (Alg::Ring, Scale::Tiny64) => {
+                collective::cached(Algorithm::RingAllreduce, n, 256 << 10)
+            }
+            (Alg::Tree, _) => collective::cached(Algorithm::TreeAllreduce, n, 32 << 10),
+            (Alg::Alltoall, _) => collective::cached(Algorithm::PairwiseAlltoall, n, 128 << 10),
         }
     }
 }

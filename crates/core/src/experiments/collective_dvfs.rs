@@ -16,7 +16,9 @@
 //! `--jobs` level (asserted by `tests/collective_equiv.rs`).
 
 use freq::{Governor, UncorePolicy};
-use mpisim::collective::{self, Schedule};
+use std::sync::Arc;
+
+use mpisim::collective::{self, Algorithm, Schedule};
 use mpisim::Cluster;
 use simcore::Series;
 use topology::fabric::FabricPreset;
@@ -45,10 +47,10 @@ fn freqs(fidelity: Fidelity) -> Vec<f64> {
 /// The two schedules, in plan order.
 const ALGS: [&str; 2] = ["binomial bcast 16 KiB", "ring allreduce 8 MiB"];
 
-fn schedule(alg: usize) -> Schedule {
+fn schedule(alg: usize) -> Arc<Schedule> {
     match alg {
-        0 => Schedule::binomial_bcast(NODES, BCAST_SIZE),
-        _ => Schedule::ring_allreduce(NODES, ALLREDUCE_SIZE),
+        0 => collective::cached(Algorithm::BinomialBcast, NODES, BCAST_SIZE),
+        _ => collective::cached(Algorithm::RingAllreduce, NODES, ALLREDUCE_SIZE),
     }
 }
 

@@ -26,8 +26,9 @@
 pub mod collective;
 pub mod pingpong;
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use freq::{Activity, FreqModel, Governor, UncorePolicy};
 use memsim::exec::{Executor, JobId, JobSpec, JobStats};
@@ -38,6 +39,14 @@ use simcore::telemetry::{self, Lane};
 use simcore::{tags, Engine, EngineError, Event, JitterFamily, SimTime};
 use topology::fabric::{Fabric, FabricSpec};
 use topology::{CoreId, MachineSpec, NumaId, Placement};
+
+/// When set, clusters built afterwards match messages with the original
+/// single-queue linear scans (PR 8's matcher) instead of the indexed
+/// per-`(dst, src, tag)` bins. Retained as the equivalence reference: the
+/// whole-campaign replay in `tests/collective_equiv.rs` runs the same
+/// campaigns both ways and asserts byte-identical exports, mirroring
+/// `simcore::queue::FORCE_HEAP` / `simcore::fluid::FORCE_REFERENCE`.
+pub static FORCE_SCAN_MATCH: AtomicBool = AtomicBool::new(false);
 
 /// A request handle for a non-blocking operation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -121,6 +130,96 @@ struct RecvReq {
     matched: Option<TransferId>,
 }
 
+/// `Matcher::Indexed` side-table sentinel: "no request".
+const NO_REQ: u32 = u32::MAX;
+
+/// One `(dst, src, mtag)` match bin: FIFO order within the bin is exactly
+/// the global posting/arrival order restricted to the bin's key, so popping
+/// the front is equivalent to the reference matcher's first-match scan.
+#[derive(Default, Debug)]
+struct MatchBin {
+    /// Posted-but-unmatched receive requests, in posting order.
+    posted: VecDeque<u32>,
+    /// Arrived-but-unmatched transfers, in arrival order. Failed transfers
+    /// are removed lazily (see `Matcher::Indexed::cancelled`).
+    unexpected: VecDeque<TransferId>,
+}
+
+/// Message-matching state. The default `Indexed` form makes post, match and
+/// cancel O(1) amortised at any rank count; `Scan` is PR 8's single-queue
+/// linear matcher, selected by [`FORCE_SCAN_MATCH`] at cluster build and
+/// kept as the byte-identity reference.
+///
+/// The dense side tables rely on [`TransferId`]s being allocated in
+/// lockstep with send requests: `Cluster` is the only `start_send` caller,
+/// so `TransferId(i)` is always the i-th transfer this cluster started
+/// (checked by a debug assertion on every send).
+enum Matcher {
+    Indexed {
+        /// `(dst, src, mtag)` → match bin.
+        bins: HashMap<(u32, u32, u32), MatchBin>,
+        /// TransferId → (send request, sending rank).
+        meta: Vec<(u32, u32)>,
+        /// TransferId → matched receive request ([`NO_REQ`] while unmatched).
+        recv_of: Vec<u32>,
+        /// TransferId → payload arrived before any receive was posted.
+        delivered: Vec<bool>,
+        /// TransferId → transfer failed while possibly still queued in a
+        /// bin; matching skips (and drops) cancelled entries lazily, so a
+        /// failure never scans unrelated bins.
+        cancelled: Vec<bool>,
+        /// Send request → TransferId.
+        send_transfer: Vec<TransferId>,
+    },
+    Scan {
+        /// Posted-but-unmatched receives (all keys interleaved).
+        posted: VecDeque<u32>,
+        /// Arrived-but-unmatched transfers: (dest_node, src, mtag,
+        /// transfer, delivered_already).
+        unexpected: VecDeque<(usize, usize, u32, TransferId, bool)>,
+        /// (transfer → send request, mtag, from) registry.
+        transfer_req: Vec<(TransferId, u32, u32, usize)>,
+    },
+}
+
+impl Matcher {
+    fn new() -> Matcher {
+        if FORCE_SCAN_MATCH.load(Ordering::Relaxed) {
+            Matcher::Scan {
+                posted: VecDeque::new(),
+                unexpected: VecDeque::new(),
+                transfer_req: Vec::new(),
+            }
+        } else {
+            Matcher::Indexed {
+                bins: HashMap::new(),
+                meta: Vec::new(),
+                recv_of: Vec::new(),
+                delivered: Vec::new(),
+                cancelled: Vec::new(),
+                send_transfer: Vec::new(),
+            }
+        }
+    }
+
+    /// (send request, sending rank) of a transfer.
+    fn send_of(&self, id: TransferId) -> (u32, usize) {
+        match self {
+            Matcher::Indexed { meta, .. } => {
+                let (sreq, from) = meta[id.0 as usize];
+                (sreq, from as usize)
+            }
+            Matcher::Scan { transfer_req, .. } => {
+                let (_, sreq, _, from) = *transfer_req
+                    .iter()
+                    .find(|(t, _, _, _)| *t == id)
+                    .expect("known transfer");
+                (sreq, from)
+            }
+        }
+    }
+}
+
 /// One record of the send profiler.
 #[derive(Clone, Copy, Debug)]
 pub struct SendRecord {
@@ -194,13 +293,12 @@ pub struct Cluster {
     pub data_numa: Vec<NumaId>,
     sends: Vec<SendReq>,
     recvs: Vec<RecvReq>,
-    /// Posted-but-unmatched receives.
-    posted: VecDeque<u32>,
-    /// Arrived-but-unmatched transfers: (dest_node, src, mtag, transfer,
-    /// delivered_already).
-    unexpected: VecDeque<(usize, usize, u32, TransferId, bool)>,
-    /// (transfer → send request, mtag, from) registry.
-    transfer_req: Vec<(TransferId, u32, u32, usize)>,
+    /// Tag-matching state (indexed bins by default; see [`Matcher`]).
+    matcher: Matcher,
+    /// Cluster events decoded from engine events but not yet returned by
+    /// [`Cluster::try_step`] (one engine event can complete several
+    /// requests at once).
+    pending: VecDeque<ClusterEvent>,
     profile: Vec<SendRecord>,
     profiling: bool,
     /// Injected faults (empty when healthy); kept for straggler re-application.
@@ -264,9 +362,8 @@ impl Cluster {
             data_numa,
             sends: Vec::new(),
             recvs: Vec::new(),
-            posted: VecDeque::new(),
-            unexpected: VecDeque::new(),
-            transfer_req: Vec::new(),
+            matcher: Matcher::new(),
+            pending: VecDeque::new(),
             profile: Vec::new(),
             profiling: false,
             fault_plan: FaultPlan::default(),
@@ -423,17 +520,61 @@ impl Cluster {
             elapsed: None,
             size,
         });
-        self.transfer_req.push((transfer, req.0, mtag, from));
         // Match against an already-posted receive.
-        if let Some(pos) = self.posted.iter().position(|&r| {
-            let rr = &self.recvs[r as usize];
-            rr.node == to && rr.src == from && rr.mtag == mtag
-        }) {
-            let r = self.posted.remove(pos).expect("index valid");
-            self.recvs[r as usize].matched = Some(transfer);
-            self.net.recv_ready(&mut self.engine, transfer);
-        } else {
-            self.unexpected.push_back((to, from, mtag, transfer, false));
+        match &mut self.matcher {
+            Matcher::Indexed {
+                bins,
+                meta,
+                recv_of,
+                delivered,
+                cancelled,
+                send_transfer,
+            } => {
+                debug_assert_eq!(
+                    transfer.0 as usize,
+                    meta.len(),
+                    "transfer ids allocate in lockstep with sends"
+                );
+                meta.push((req.0, from as u32));
+                recv_of.push(NO_REQ);
+                delivered.push(false);
+                cancelled.push(false);
+                send_transfer.push(transfer);
+                let bin = bins.entry((to as u32, from as u32, mtag)).or_default();
+                if let Some(r) = bin.posted.pop_front() {
+                    telemetry::counter_add("mpi.match.probes", 1);
+                    telemetry::counter_add("mpi.match.bin_hit", 1);
+                    recv_of[transfer.0 as usize] = r;
+                    self.recvs[r as usize].matched = Some(transfer);
+                    self.net.recv_ready(&mut self.engine, transfer);
+                } else {
+                    bin.unexpected.push_back(transfer);
+                }
+            }
+            Matcher::Scan {
+                posted,
+                unexpected,
+                transfer_req,
+            } => {
+                transfer_req.push((transfer, req.0, mtag, from));
+                let recvs = &self.recvs;
+                let mut probed = 0u64;
+                let pos = posted.iter().position(|&r| {
+                    probed += 1;
+                    let rr = &recvs[r as usize];
+                    rr.node == to && rr.src == from && rr.mtag == mtag
+                });
+                if probed > 0 {
+                    telemetry::counter_add("mpi.match.probes", probed);
+                }
+                if let Some(pos) = pos {
+                    let r = posted.remove(pos).expect("index valid");
+                    self.recvs[r as usize].matched = Some(transfer);
+                    self.net.recv_ready(&mut self.engine, transfer);
+                } else {
+                    unexpected.push_back((to, from, mtag, transfer, false));
+                }
+            }
         }
         req
     }
@@ -464,25 +605,87 @@ impl Cluster {
             matched: None,
         };
         // Match against an unexpected arrival.
-        if let Some(pos) = self
-            .unexpected
-            .iter()
-            .position(|&(d, s, t, _, _)| d == node && s == src && t == mtag)
-        {
-            let (_, _, _, transfer, delivered) =
-                self.unexpected.remove(pos).expect("index valid");
-            rr.matched = Some(transfer);
-            if delivered {
-                rr.state = ReqState::Complete;
-                // The payload already arrived: the request is instantaneous.
-                telemetry::async_end(self.engine.now(), "mpi.recv", req.0 as u64, Lane::Node(node as u8));
-            } else {
-                self.net.recv_ready(&mut self.engine, transfer);
+        match &mut self.matcher {
+            Matcher::Indexed {
+                bins,
+                recv_of,
+                delivered,
+                cancelled,
+                ..
+            } => {
+                let bin = bins.entry((node as u32, src as u32, mtag)).or_default();
+                let mut matched = None;
+                let mut probed = 0u64;
+                // Failed transfers are dropped lazily here, so a failure
+                // elsewhere never scanned this bin.
+                while let Some(t) = bin.unexpected.pop_front() {
+                    probed += 1;
+                    if cancelled[t.0 as usize] {
+                        continue;
+                    }
+                    matched = Some(t);
+                    break;
+                }
+                if probed > 0 {
+                    telemetry::counter_add("mpi.match.probes", probed);
+                }
+                if let Some(transfer) = matched {
+                    telemetry::counter_add("mpi.match.bin_hit", 1);
+                    recv_of[transfer.0 as usize] = req.0;
+                    rr.matched = Some(transfer);
+                    if delivered[transfer.0 as usize] {
+                        rr.state = ReqState::Complete;
+                        // The payload already arrived: the request is
+                        // instantaneous.
+                        telemetry::async_end(
+                            self.engine.now(),
+                            "mpi.recv",
+                            req.0 as u64,
+                            Lane::Node(node as u8),
+                        );
+                    } else {
+                        self.net.recv_ready(&mut self.engine, transfer);
+                    }
+                    self.recvs.push(rr);
+                } else {
+                    self.recvs.push(rr);
+                    bin.posted.push_back(req.0);
+                }
             }
-            self.recvs.push(rr);
-        } else {
-            self.recvs.push(rr);
-            self.posted.push_back(req.0);
+            Matcher::Scan {
+                posted, unexpected, ..
+            } => {
+                let mut probed = 0u64;
+                let pos = unexpected.iter().position(|&(d, s, t, _, _)| {
+                    probed += 1;
+                    d == node && s == src && t == mtag
+                });
+                if probed > 0 {
+                    telemetry::counter_add("mpi.match.probes", probed);
+                }
+                if let Some(pos) = pos {
+                    let (_, _, _, transfer, delivered) =
+                        unexpected.remove(pos).expect("index valid");
+                    rr.matched = Some(transfer);
+                    if delivered {
+                        rr.state = ReqState::Complete;
+                        // The payload already arrived: the request is
+                        // instantaneous.
+                        telemetry::async_end(
+                            self.engine.now(),
+                            "mpi.recv",
+                            req.0 as u64,
+                            Lane::Node(node as u8),
+                        );
+                    } else {
+                        self.net.recv_ready(&mut self.engine, transfer);
+                    }
+                    self.recvs.push(rr);
+                } else {
+                    self.recvs.push(rr);
+                    posted.push_back(req.0);
+                }
+            }
         }
         req
     }
@@ -514,11 +717,16 @@ impl Cluster {
 
     /// Retransmission accounting for a send request (zeroes when healthy).
     pub fn send_retry_stats(&self, req: ReqId) -> netsim::RetryStats {
-        let (transfer, ..) = *self
-            .transfer_req
-            .iter()
-            .find(|(_, s, _, _)| *s == req.0)
-            .expect("known send request");
+        let transfer = match &self.matcher {
+            Matcher::Indexed { send_transfer, .. } => send_transfer[req.0 as usize],
+            Matcher::Scan { transfer_req, .. } => {
+                let (transfer, ..) = *transfer_req
+                    .iter()
+                    .find(|(_, s, _, _)| *s == req.0)
+                    .expect("known send request");
+                transfer
+            }
+        };
         self.net.retry_stats(transfer)
     }
 
@@ -552,6 +760,12 @@ impl Cluster {
     /// dry; [`ClusterError::Wedged`] carries the engine's stall diagnostic.
     pub fn try_step(&mut self) -> Result<Option<ClusterEvent>, ClusterError> {
         loop {
+            // One engine event can complete several requests (batched
+            // deliveries land at one instant); surface every completion, in
+            // order, before advancing the engine again.
+            if let Some(out) = self.pending.pop_front() {
+                return Ok(Some(out));
+            }
             let Some(ev) = self.engine.try_next().map_err(ClusterError::Wedged)? else {
                 return Ok(None);
             };
@@ -569,9 +783,7 @@ impl Cluster {
                             &ev,
                         )
                     };
-                    if let Some(out) = self.apply_net_events(outs) {
-                        return Ok(Some(out));
-                    }
+                    self.apply_net_events(outs);
                 }
                 tags::ns::COMPUTE => {
                     let node = self
@@ -604,16 +816,11 @@ impl Cluster {
         }
     }
 
-    fn apply_net_events(&mut self, outs: Vec<NetEvent>) -> Option<ClusterEvent> {
-        let mut ret = None;
+    fn apply_net_events(&mut self, outs: Vec<NetEvent>) {
         for out in outs {
             match out {
                 NetEvent::SendComplete { id, sender_elapsed } => {
-                    let (_, sreq, _, from) = *self
-                        .transfer_req
-                        .iter()
-                        .find(|(t, _, _, _)| *t == id)
-                        .expect("known transfer");
+                    let (sreq, from) = self.matcher.send_of(id);
                     let s = &mut self.sends[sreq as usize];
                     s.state = ReqState::Complete;
                     s.elapsed = Some(sender_elapsed);
@@ -634,11 +841,38 @@ impl Cluster {
                             retry_wait: rs.retry_wait,
                         });
                     }
-                    ret.get_or_insert(ClusterEvent::SendComplete(ReqId(sreq)));
+                    self.pending.push_back(ClusterEvent::SendComplete(ReqId(sreq)));
                 }
                 NetEvent::Delivered { id } => {
                     // Find the matched receive, if any.
-                    if let Some(ri) = self.recvs.iter().position(|r| r.matched == Some(id)) {
+                    let ri = match &mut self.matcher {
+                        Matcher::Indexed {
+                            recv_of, delivered, ..
+                        } => {
+                            let r = recv_of[id.0 as usize];
+                            if r == NO_REQ {
+                                // Arrived before any receive was posted.
+                                delivered[id.0 as usize] = true;
+                                None
+                            } else {
+                                Some(r as usize)
+                            }
+                        }
+                        Matcher::Scan { unexpected, .. } => {
+                            let pos =
+                                self.recvs.iter().position(|r| r.matched == Some(id));
+                            if pos.is_none() {
+                                if let Some(u) =
+                                    unexpected.iter_mut().find(|(_, _, _, t, _)| *t == id)
+                                {
+                                    // Arrived before any receive was posted.
+                                    u.4 = true;
+                                }
+                            }
+                            pos
+                        }
+                    };
+                    if let Some(ri) = ri {
                         self.recvs[ri].state = ReqState::Complete;
                         telemetry::async_end(
                             self.engine.now(),
@@ -646,40 +880,45 @@ impl Cluster {
                             ri as u64,
                             Lane::Node(self.recvs[ri].node as u8),
                         );
-                        ret = Some(ClusterEvent::RecvComplete(ReqId(ri as u32)));
-                    } else if let Some(u) = self
-                        .unexpected
-                        .iter_mut()
-                        .find(|(_, _, _, t, _)| *t == id)
-                    {
-                        // Arrived before any receive was posted.
-                        u.4 = true;
+                        self.pending.push_back(ClusterEvent::RecvComplete(ReqId(ri as u32)));
                     }
                 }
                 NetEvent::Failed { id, retries } => {
-                    let (_, sreq, _, from) = *self
-                        .transfer_req
-                        .iter()
-                        .find(|(t, _, _, _)| *t == id)
-                        .expect("known transfer");
+                    let (sreq, from) = self.matcher.send_of(id);
                     self.sends[sreq as usize].state = ReqState::Failed;
                     let lane = Lane::Node(from as u8);
                     telemetry::instant(self.engine.now(), "mpi", "send.failed", lane);
                     telemetry::async_end(self.engine.now(), "mpi.send", sreq as u64, lane);
                     // The matched receive (or queued unexpected arrival)
                     // will never complete either.
-                    if let Some(ri) = self.recvs.iter().position(|r| r.matched == Some(id)) {
-                        self.recvs[ri].state = ReqState::Failed;
+                    match &mut self.matcher {
+                        Matcher::Indexed {
+                            recv_of, cancelled, ..
+                        } => {
+                            let r = recv_of[id.0 as usize];
+                            if r != NO_REQ {
+                                self.recvs[r as usize].state = ReqState::Failed;
+                            }
+                            // Lazy removal from its bin: no queue sweep, no
+                            // unrelated-bin scans.
+                            cancelled[id.0 as usize] = true;
+                        }
+                        Matcher::Scan { unexpected, .. } => {
+                            if let Some(ri) =
+                                self.recvs.iter().position(|r| r.matched == Some(id))
+                            {
+                                self.recvs[ri].state = ReqState::Failed;
+                            }
+                            unexpected.retain(|&(_, _, _, t, _)| t != id);
+                        }
                     }
-                    self.unexpected.retain(|&(_, _, _, t, _)| t != id);
-                    ret.get_or_insert(ClusterEvent::SendFailed {
+                    self.pending.push_back(ClusterEvent::SendFailed {
                         req: ReqId(sreq),
                         retries,
                     });
                 }
             }
         }
-        ret
     }
 
     /// Run the simulation until `deadline`, discarding events (used to let
@@ -782,6 +1021,49 @@ mod tests {
         assert!(!c.test_recv(r2), "second recv must wait for a second send");
         c.isend(0, 64, 5, 2);
         drive_until_recv(&mut c, r2);
+    }
+
+    /// ISSUE 9 satellite: a 1k-message churn across distinct tags must not
+    /// scan unrelated bins. The indexed matcher probes exactly one entry
+    /// per receive (its own bin's front); the pinned linear scanner walks
+    /// the whole unexpected queue — the telemetry counters prove both.
+    #[test]
+    fn churn_does_not_scan_unrelated_bins() {
+        let run = |force_scan: bool| -> (u64, u64) {
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    telemetry::install();
+                    FORCE_SCAN_MATCH.store(force_scan, Ordering::Relaxed);
+                    let mut c = cluster();
+                    FORCE_SCAN_MATCH.store(false, Ordering::Relaxed);
+                    for t in 0..1000u32 {
+                        c.isend(0, 64, t, 1);
+                    }
+                    // Drain: every eager payload lands unexpected, each in
+                    // its own (dst, src, tag) bin.
+                    while c.step().is_some() {}
+                    for t in (0..1000u32).rev() {
+                        let r = c.irecv(1, t);
+                        assert!(c.test_recv(r), "eager payload already arrived");
+                    }
+                    let j = telemetry::take().expect("recorder installed");
+                    (
+                        j.counters.get("mpi.match.probes").copied().unwrap_or(0),
+                        j.counters.get("mpi.match.bin_hit").copied().unwrap_or(0),
+                    )
+                })
+                .join()
+                .expect("test thread")
+            })
+        };
+        let (idx_probes, idx_hits) = run(false);
+        assert_eq!(idx_probes, 1000, "one probe per matched receive");
+        assert_eq!(idx_hits, 1000, "every receive matches from its own bin");
+        let (scan_probes, _) = run(true);
+        assert_eq!(
+            scan_probes, 500_500,
+            "the reference scan walks every unrelated entry (arithmetic-series probe count)"
+        );
     }
 
     #[test]

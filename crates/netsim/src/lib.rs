@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use freq::FreqModel;
 use memsim::{MemSystem, Requester};
@@ -57,6 +58,12 @@ const DMA_UNCORE_SPAN: f64 = 0.04;
 /// Heavy-core count at which the package-idle latency penalty has fully
 /// vanished.
 const IDLE_PENALTY_FADE_CORES: f64 = 4.0;
+
+/// When set, simulators built afterwards skip the interned wire-slot arena
+/// and resolve each transfer's route per hop (the pre-interning path).
+/// Equivalence pin for `tests/collective_equiv.rs`, mirroring
+/// `simcore::queue::FORCE_HEAP`: snapshot at [`NetSim::build_fabric`] time.
+pub static FORCE_ROUTE_LOOKUP: AtomicBool = AtomicBool::new(false);
 
 /// Identifies an in-flight transfer.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -193,6 +200,14 @@ pub struct NetSim {
     /// One fluid resource per directed fabric link, in `fabric.links()`
     /// order.
     links: Vec<ResourceId>,
+    /// Pre-resolved wire slots per `(from, to)` pair, pair-major:
+    /// `[nic_tx[from], link resources.., nic_rx[to]]` — the exact middle
+    /// segment both flow paths (PIO and DMA) splice in, so per-transfer
+    /// setup is one slice copy instead of per-hop table lookups. Empty
+    /// (both vecs) when [`FORCE_ROUTE_LOOKUP`] pinned the build.
+    wire_arena: Vec<ResourceId>,
+    /// `wire_spans[from * nodes + to]` slices `wire_arena`.
+    wire_spans: Vec<(u32, u32)>,
     transfers: Vec<Option<Transfer>>,
     /// Parallel to `transfers`, kept after retirement for the profiler.
     retry_stats: Vec<RetryStats>,
@@ -246,12 +261,30 @@ impl NetSim {
         // A generous default RTO: several wire round-trips, but far below
         // any experiment's total runtime.
         let rto_base = SimTime::from_secs_f64(cfg.wire_latency_s * 16.0).max(SimTime::US);
+        let (wire_arena, wire_spans) = if FORCE_ROUTE_LOOKUP.load(Ordering::Relaxed) {
+            (Vec::new(), Vec::new())
+        } else {
+            let mut arena = Vec::with_capacity(n * n * 3);
+            let mut spans = Vec::with_capacity(n * n);
+            for (from, &tx) in nic_tx.iter().enumerate() {
+                for (to, &rx) in nic_rx.iter().enumerate() {
+                    let start = arena.len() as u32;
+                    arena.push(tx);
+                    arena.extend(fabric.route(from, to).iter().map(|&l| links[l as usize]));
+                    arena.push(rx);
+                    spans.push((start, arena.len() as u32));
+                }
+            }
+            (arena, spans)
+        };
         NetSim {
             cfg,
             fabric,
             nic_tx,
             nic_rx,
             links,
+            wire_arena,
+            wire_spans,
             transfers: Vec::new(),
             retry_stats: Vec::new(),
             reg_cache: vec![HashSet::new(); n],
@@ -272,6 +305,22 @@ impl NetSim {
     /// The routed fabric this simulator runs over.
     pub fn fabric(&self) -> &Fabric {
         &self.fabric
+    }
+
+    /// Splice the `from → to` wire segment (`nic_tx`, route links,
+    /// `nic_rx`) onto `path`: one interned slice copy normally, per-hop
+    /// resolution when [`FORCE_ROUTE_LOOKUP`] pinned the build. Both paths
+    /// produce the identical resource sequence.
+    fn push_wire(&self, path: &mut Vec<ResourceId>, from: usize, to: usize) {
+        if self.wire_spans.is_empty() {
+            path.push(self.nic_tx[from]);
+            path.extend(self.fabric.route(from, to).iter().map(|&l| self.links[l as usize]));
+            path.push(self.nic_rx[to]);
+            return;
+        }
+        telemetry::counter_add("net.route.intern_hit", 1);
+        let (start, end) = self.wire_spans[from * self.nic_tx.len() + to];
+        path.extend_from_slice(&self.wire_arena[start as usize..end as usize]);
     }
 
     /// Number of nodes on the fabric.
@@ -611,9 +660,7 @@ impl NetSim {
                 let f = sender.freqs.core_freq(sender.comm_core);
                 let cap = PIO_BYTES_PER_CYCLE * f * 1e9;
                 let mut path = sender.mem.path(Requester::Core(sender.comm_core), data_numa);
-                path.push(self.nic_tx[from]);
-                path.extend(self.fabric.route(from, to).iter().map(|&l| self.links[l as usize]));
-                path.push(self.nic_rx[to]);
+                self.push_wire(&mut path, from, to);
                 path.extend(receiver.mem.path(Requester::Nic, dest_numa));
                 engine.start_flow(FlowSpec {
                     path,
@@ -673,9 +720,7 @@ impl NetSim {
                 // receiver memory; the weight reflects the NIC's
                 // outstanding-request aggressiveness.
                 let mut path = sender.mem.path(Requester::Nic, data_numa);
-                path.push(self.nic_tx[from]);
-                path.extend(self.fabric.route(from, to).iter().map(|&l| self.links[l as usize]));
-                path.push(self.nic_rx[to]);
+                self.push_wire(&mut path, from, to);
                 path.extend(receiver.mem.path(Requester::Nic, dest_numa));
                 engine.start_flow(FlowSpec {
                     path,

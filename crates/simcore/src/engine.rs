@@ -362,6 +362,9 @@ impl Engine {
             if stats.parallel_components > 0 {
                 telemetry::counter_add("fluid.parallel_components", stats.parallel_components);
             }
+            if stats.waterfill > 0 {
+                telemetry::counter_add("fluid.waterfill", stats.waterfill);
+            }
         }
     }
 

@@ -120,7 +120,9 @@ pub(crate) struct FlowArena {
 pub(crate) const FREE_SLOT: u64 = u64::MAX;
 
 impl FlowArena {
-    /// Number of slots (live + free).
+    /// Number of slots (live + free). Only the scratch-rebuild reference
+    /// solver needs this; the incremental path tracks live slots via `order`.
+    #[cfg(any(test, feature = "reference-solver"))]
     fn len(&self) -> usize {
         self.id.len()
     }
@@ -152,6 +154,10 @@ pub struct ReallocStats {
     /// Components that were solved on the scoped thread pool (0 when the
     /// pass ran serially). Feeds the `fluid.parallel_components` counter.
     pub parallel_components: u64,
+    /// Components solved by the single-flow waterfill fast path (exact-bits
+    /// shortcut of the progressive fill). Feeds the `fluid.waterfill`
+    /// counter.
+    pub waterfill: u64,
 }
 
 /// When set, [`FluidNet::reallocate`] delegates to [`reference::reallocate`]
@@ -180,6 +186,14 @@ pub const PARALLEL_FLOW_THRESHOLD: u64 = 4096;
 
 /// Worker-thread ceiling for one parallel reallocation pass.
 const PARALLEL_MAX_WORKERS: usize = 8;
+
+/// In auto mode, the minimum *average* flows per dirty component before the
+/// pool engages. Fabric collectives dirty thousands of one-flow components
+/// (per-message receive-overhead flows) whose total crosses
+/// [`PARALLEL_FLOW_THRESHOLD`] while each solve is microseconds — spawning
+/// workers for those is pure overhead. Like the flow threshold, this is a
+/// function of workload shape only, never of the host's core count.
+pub const PARALLEL_MIN_COMPONENT_FLOWS: u64 = 64;
 
 /// The set of resources and active flows, with max-min allocation.
 #[derive(Default)]
@@ -514,7 +528,14 @@ impl FluidNet {
             2 => comps.len() >= 2,
             // Auto: a function of workload shape only, never of the host's
             // core count — keeps telemetry counters machine-independent.
-            _ => comps.len() >= 2 && stats.flows_visited >= PARALLEL_FLOW_THRESHOLD,
+            // Fabric-shaped passes (many tiny components) stay serial even
+            // at high flow totals: the per-component solves are too small
+            // to amortize a worker spawn.
+            _ => {
+                comps.len() >= 2
+                    && stats.flows_visited >= PARALLEL_FLOW_THRESHOLD
+                    && stats.flows_visited / comps.len() as u64 >= PARALLEL_MIN_COMPONENT_FLOWS
+            }
         };
         if !parallel {
             for &(rs, re, ss, se) in &comps {
@@ -524,6 +545,7 @@ impl FluidNet {
                     &all_res[rs..re],
                     &all_slots[ss..se],
                 );
+                stats.waterfill += u64::from(sol.waterfill);
                 apply_region(
                     &mut self.resources,
                     &mut self.arena,
@@ -586,6 +608,7 @@ impl FluidNet {
         // identical to the serial loop's write sequence.
         for (ci, &(rs, re, ss, se)) in comps.iter().enumerate() {
             let sol = solutions[ci].take().expect("every component solved");
+            stats.waterfill += u64::from(sol.waterfill);
             apply_region(
                 &mut self.resources,
                 &mut self.arena,
@@ -671,6 +694,57 @@ impl FluidNet {
 struct RegionSolution {
     rate: Vec<f64>,
     alloc: Vec<f64>,
+    /// Solved by the single-flow waterfill fast path.
+    waterfill: bool,
+}
+
+/// Waterfill fast path for a one-flow component: the progressive fill
+/// collapses to its first round — the flow runs at `weight × min over its
+/// resources of capacity / weight`, or at its cap if that binds first.
+///
+/// Every expression below is copied verbatim from the corresponding
+/// general-loop round (same `max(0.0)` clamps, same `- level` with `level
+/// = 0.0`, same strict-`<` first-min scan in ascending resource order), so
+/// the returned rate is exact-bits identical to what [`solve_region`]'s
+/// loop would produce — the property tests compare the two bitwise.
+fn solve_singleton(
+    resources: &[Resource],
+    arena: &FlowArena,
+    comp_res: &[u32],
+    comp_slots: &[u32],
+) -> RegionSolution {
+    let si = comp_slots[0] as usize;
+    let w0 = arena.weight[si];
+    // A closed one-flow component lists exactly the flow's resources, each
+    // with unfrozen weight w0 (> 0: `start_flow` asserts it).
+    let mut best_dlevel = f64::INFINITY;
+    for &r in comp_res {
+        let dlevel = resources[r as usize].capacity.max(0.0) / w0;
+        if dlevel < best_dlevel {
+            best_dlevel = dlevel;
+        }
+    }
+    let cap_dlevel = match arena.cap[si] {
+        Some(c) => (c / w0 - 0.0).max(0.0),
+        None => f64::INFINITY,
+    };
+    let rate0 = if best_dlevel == f64::INFINITY && cap_dlevel == f64::INFINITY {
+        w0 * 0.0
+    } else if cap_dlevel < best_dlevel {
+        arena.cap[si].expect("capped")
+    } else {
+        w0 * (0.0 + best_dlevel)
+    };
+    let mut alloc = vec![0.0f64; comp_res.len()];
+    for &r in &arena.path[si] {
+        let lr = comp_res.binary_search(&r.0).expect("closed component");
+        alloc[lr] += rate0;
+    }
+    RegionSolution {
+        rate: vec![rate0],
+        alloc,
+        waterfill: true,
+    }
 }
 
 /// Solve one connected component by progressive filling, returning its
@@ -683,6 +757,21 @@ struct RegionSolution {
 /// the fill algorithm — the incremental and reference solvers both call it,
 /// which is what makes their results bit-identical by construction.
 fn solve_region(
+    resources: &[Resource],
+    arena: &FlowArena,
+    comp_res: &[u32],
+    comp_slots: &[u32],
+) -> RegionSolution {
+    if comp_slots.len() == 1 {
+        return solve_singleton(resources, arena, comp_res, comp_slots);
+    }
+    solve_general(resources, arena, comp_res, comp_slots)
+}
+
+/// The full progressive-filling loop. Callers go through [`solve_region`];
+/// only the waterfill parity test calls this directly on one-flow
+/// components to prove the fast path bit-identical.
+fn solve_general(
     resources: &[Resource],
     arena: &FlowArena,
     comp_res: &[u32],
@@ -734,14 +823,27 @@ fn solve_region(
     let mut level = 0.0f64;
     let mut newly_frozen: Vec<usize> = Vec::new();
 
+    // Active scan lists, compacted as the fill proceeds: a resource whose
+    // unfrozen weight reached 0.0 can never become a candidate again
+    // (weights are strictly positive and only leave `w` by freezing), nor
+    // can a frozen flow. Retention is stable, so the surviving candidates
+    // are visited in the same ascending order as the full `0..nr` / `0..nf`
+    // scans — same first-strict-min tie-breaks, same arithmetic, skipping
+    // only iterations the full scans would `continue` past. Dropping a
+    // zero-weight resource from the headroom update is equally exact:
+    // `headroom -= 0.0 * dl` is a no-op for every finite `dl`.
+    let mut active_res: Vec<u32> = (0..nr as u32).collect();
+    let mut active_cap_flows: Vec<u32> =
+        (0..nf as u32).filter(|&i| cap[i as usize].is_some()).collect();
+
     while unfrozen > 0 {
+        active_res.retain(|&lr| w[lr as usize] > 0.0);
+        active_cap_flows.retain(|&i| !frozen[i as usize]);
         // For each resource, the level increment at which it saturates.
         let mut best_dlevel = f64::INFINITY;
         let mut bottleneck: Option<usize> = None;
-        for lr in 0..nr {
-            if w[lr] <= 0.0 {
-                continue;
-            }
+        for &lr in &active_res {
+            let lr = lr as usize;
             let dlevel = (headroom[lr].max(0.0)) / w[lr];
             if dlevel < best_dlevel {
                 best_dlevel = dlevel;
@@ -751,10 +853,8 @@ fn solve_region(
         // Flow caps: flow i freezes when level reaches cap/weight.
         let mut cap_dlevel = f64::INFINITY;
         let mut cap_flow: Option<usize> = None;
-        for i in 0..nf {
-            if frozen[i] {
-                continue;
-            }
+        for &i in &active_cap_flows {
+            let i = i as usize;
             if let Some(c) = cap[i] {
                 let dl = (c / weight[i] - level).max(0.0);
                 if dl < cap_dlevel {
@@ -780,7 +880,8 @@ fn solve_region(
             // A flow reaches its cap first.
             let dl = cap_dlevel;
             level += dl;
-            for lr in 0..nr {
+            for &lr in &active_res {
+                let lr = lr as usize;
                 headroom[lr] -= w[lr] * dl;
             }
             let i = cap_flow.expect("cap flow set");
@@ -794,7 +895,8 @@ fn solve_region(
             // A resource saturates.
             let dl = best_dlevel;
             level += dl;
-            for lr in 0..nr {
+            for &lr in &active_res {
+                let lr = lr as usize;
                 headroom[lr] -= w[lr] * dl;
             }
             let rb = bottleneck.expect("bottleneck set");
@@ -829,7 +931,11 @@ fn solve_region(
             alloc[lr] += rate[i];
         }
     }
-    RegionSolution { rate, alloc }
+    RegionSolution {
+        rate,
+        alloc,
+        waterfill: false,
+    }
 }
 
 /// Write a solved component back: rates on the flows, allocation totals on
@@ -927,6 +1033,7 @@ pub mod reference {
             stats.components += 1;
             stats.flows_visited += comp_slots.len() as u64;
             let sol = solve_region(&net.resources, &net.arena, &comp_res, &comp_slots);
+            stats.waterfill += u64::from(sol.waterfill);
             apply_region(&mut net.resources, &mut net.arena, &comp_res, &comp_slots, &sol);
         }
         stats
@@ -1308,5 +1415,60 @@ mod tests {
         let ref_alloc: Vec<_> = [a, b, c].iter().map(|&r| net.allocated(r).to_bits()).collect();
         assert_eq!(fast, refr);
         assert_eq!(fast_alloc, ref_alloc);
+    }
+
+    /// The waterfill fast path is an exact-bits shortcut of the general
+    /// progressive fill: sweep randomized one-flow components (duplicate
+    /// path entries, zero-capacity resources, caps on/off) and compare the
+    /// two solvers' rates and allocations bitwise.
+    #[test]
+    fn waterfill_matches_general_loop_bitwise() {
+        let mut rng = crate::Pcg32::new(42, 0x0dec0de);
+        for case in 0..1000u32 {
+            let mut net = FluidNet::new();
+            let nres = 1 + rng.below(5) as usize;
+            let rs: Vec<ResourceId> = (0..nres)
+                .map(|i| {
+                    let cap = match rng.below(8) {
+                        0 => 0.0,
+                        v => v as f64 * 13.75 + rng.next_f64(),
+                    };
+                    net.add_resource(format!("r{}", i), cap)
+                })
+                .collect();
+            // Random path over the resources, duplicates allowed.
+            let plen = 1 + rng.below(6) as usize;
+            let path: Vec<ResourceId> =
+                (0..plen).map(|_| rs[rng.below(nres as u32) as usize]).collect();
+            let weight = 0.1 + rng.next_f64() * 9.9;
+            let cap = (rng.below(2) == 1).then(|| 0.5 + rng.next_f64() * 200.0);
+            net.start_flow(FlowSpec {
+                path: path.clone(),
+                volume: 1e6,
+                weight,
+                cap,
+                tag: 0,
+            });
+            let slot = *net.index.values().next().expect("one flow");
+            let mut comp_res: Vec<u32> = path.iter().map(|r| r.0).collect();
+            comp_res.sort_unstable();
+            comp_res.dedup();
+            let comp_slots = [slot];
+            let fast = solve_singleton(&net.resources, &net.arena, &comp_res, &comp_slots);
+            let slow = solve_general(&net.resources, &net.arena, &comp_res, &comp_slots);
+            assert!(fast.waterfill && !slow.waterfill);
+            assert_eq!(
+                fast.rate[0].to_bits(),
+                slow.rate[0].to_bits(),
+                "case {}: rate diverged ({} vs {})",
+                case,
+                fast.rate[0],
+                slow.rate[0]
+            );
+            assert_eq!(fast.alloc.len(), slow.alloc.len());
+            for (lr, (a, b)) in fast.alloc.iter().zip(&slow.alloc).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "case {}: alloc[{}]", case, lr);
+            }
+        }
     }
 }

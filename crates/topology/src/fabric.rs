@@ -195,7 +195,20 @@ impl FabricSpec {
     }
 }
 
+/// Dense identifier of an interned `(src, dst)` route: `src * nodes + dst`.
+///
+/// Stable for the lifetime of the [`Fabric`] that issued it; resolves to
+/// the hop list through [`Fabric::route_by_id`] without any per-transfer
+/// hashing or cloning.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RouteId(pub u32);
+
 /// A built fabric: links plus a dense `(src, dst) → route` table.
+///
+/// Routes are interned at build time: every hop list lives in one shared
+/// `LinkIdx` arena and the per-pair table stores only `(start, end)` spans,
+/// so a 1024-node fabric does not carry a million separate allocations and
+/// `route()` is a bounds-checked slice of the arena.
 #[derive(Clone, Debug)]
 pub struct Fabric {
     kind: FabricKind,
@@ -203,12 +216,41 @@ pub struct Fabric {
     /// Total vertex count: nodes first, then internal fabric vertices.
     vertices: usize,
     links: Vec<LinkSpec>,
-    /// Dense routing table, `routes[src * nodes + dst]`; empty for
-    /// `src == dst`.
-    routes: Vec<Vec<LinkIdx>>,
+    /// All hop lists end to end, pair-major (`src * nodes + dst` order).
+    route_arena: Vec<LinkIdx>,
+    /// `route_spans[src * nodes + dst]` slices `route_arena`; empty span
+    /// for `src == dst`.
+    route_spans: Vec<(u32, u32)>,
 }
 
 impl Fabric {
+    /// Intern the per-pair hop lists into the shared arena form. Builders
+    /// construct routes pair-major, so spans are contiguous and ascending.
+    fn assemble(
+        kind: FabricKind,
+        nodes: usize,
+        vertices: usize,
+        links: Vec<LinkSpec>,
+        routes: Vec<Vec<LinkIdx>>,
+    ) -> Fabric {
+        debug_assert_eq!(routes.len(), nodes * nodes);
+        let total: usize = routes.iter().map(Vec::len).sum();
+        let mut route_arena = Vec::with_capacity(total);
+        let mut route_spans = Vec::with_capacity(routes.len());
+        for route in &routes {
+            let start = route_arena.len() as u32;
+            route_arena.extend_from_slice(route);
+            route_spans.push((start, route_arena.len() as u32));
+        }
+        Fabric {
+            kind,
+            nodes,
+            vertices,
+            links,
+            route_arena,
+            route_spans,
+        }
+    }
     /// The fabric family.
     pub fn kind(&self) -> FabricKind {
         self.kind
@@ -233,7 +275,19 @@ impl Fabric {
     /// The deterministic route from `src` to `dst` as link indices, hop by
     /// hop. Empty iff `src == dst`.
     pub fn route(&self, src: usize, dst: usize) -> &[LinkIdx] {
-        &self.routes[src * self.nodes + dst]
+        self.route_by_id(self.route_id(src, dst))
+    }
+
+    /// The interned id of the `src → dst` route.
+    pub fn route_id(&self, src: usize, dst: usize) -> RouteId {
+        debug_assert!(src < self.nodes && dst < self.nodes);
+        RouteId((src * self.nodes + dst) as u32)
+    }
+
+    /// Resolve an interned route id to its hop list.
+    pub fn route_by_id(&self, id: RouteId) -> &[LinkIdx] {
+        let (start, end) = self.route_spans[id.0 as usize];
+        &self.route_arena[start as usize..end as usize]
     }
 
     /// Hop count of the `src → dst` route.
@@ -243,11 +297,11 @@ impl Fabric {
 }
 
 fn build_direct() -> Fabric {
-    Fabric {
-        kind: FabricKind::Direct,
-        nodes: 2,
-        vertices: 2,
-        links: vec![
+    Fabric::assemble(
+        FabricKind::Direct,
+        2,
+        2,
+        vec![
             LinkSpec {
                 name: "wire.0to1".into(),
                 bw_scale: 1.0,
@@ -261,8 +315,8 @@ fn build_direct() -> Fabric {
                 dst: 0,
             },
         ],
-        routes: vec![vec![], vec![0], vec![1], vec![]],
-    }
+        vec![vec![], vec![0], vec![1], vec![]],
+    )
 }
 
 fn build_switch(nodes: usize) -> Fabric {
@@ -296,13 +350,7 @@ fn build_switch(nodes: usize) -> Fabric {
             });
         }
     }
-    Fabric {
-        kind: FabricKind::Switch,
-        nodes,
-        vertices: nodes + 1,
-        links,
-        routes,
-    }
+    Fabric::assemble(FabricKind::Switch, nodes, nodes + 1, links, routes)
 }
 
 /// Directions of a 2-D torus, in per-node link-creation order.
@@ -371,13 +419,7 @@ fn build_torus(x: usize, y: usize) -> Fabric {
             routes.push(route);
         }
     }
-    Fabric {
-        kind: FabricKind::Torus { x, y },
-        nodes,
-        vertices: nodes,
-        links,
-        routes,
-    }
+    Fabric::assemble(FabricKind::Torus { x, y }, nodes, nodes, links, routes)
 }
 
 /// Router of group `g` hosting the directed global link `g → h`: the `g − 1`
@@ -447,13 +489,13 @@ fn build_dragonfly(groups: usize, routers: usize) -> Fabric {
             routes.push(route);
         }
     }
-    Fabric {
-        kind: FabricKind::Dragonfly { groups, routers },
+    Fabric::assemble(
+        FabricKind::Dragonfly { groups, routers },
         nodes,
-        vertices: nodes,
+        nodes,
         links,
         routes,
-    }
+    )
 }
 
 #[cfg(test)]

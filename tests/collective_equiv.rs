@@ -20,6 +20,9 @@ use interference::campaign::{self, CampaignOptions, StoreCtx};
 use interference::experiments::{self, Fidelity};
 use interference::results::figures_to_json;
 use interference::store::ResultStore;
+use mpisim::collective::FORCE_SCHEDULE_REBUILD;
+use mpisim::FORCE_SCAN_MATCH;
+use netsim::FORCE_ROUTE_LOOKUP;
 use simcore::queue::FORCE_HEAP;
 
 fn collective_experiments() -> Vec<&'static dyn campaign::Experiment> {
@@ -116,6 +119,50 @@ fn collective_campaign_resumes_byte_identical() {
     );
     assert_identical(&clean, &resumed, "resumed collective campaign diverged");
     let _ = std::fs::remove_dir_all(store.dir());
+}
+
+/// Runs `f` with the three collective fast paths pinned to their reference
+/// modes: linear-scan message matching, per-hop route lookup, and schedule
+/// rebuild on every call. The pins are snapshotted when a cluster/fabric is
+/// built (rebuild is checked per call), so bracketing the whole campaign is
+/// enough; they are restored before returning.
+fn with_reference_paths<T>(f: impl FnOnce() -> T) -> T {
+    FORCE_SCAN_MATCH.store(true, Ordering::Relaxed);
+    FORCE_ROUTE_LOOKUP.store(true, Ordering::Relaxed);
+    FORCE_SCHEDULE_REBUILD.store(true, Ordering::Relaxed);
+    let out = f();
+    FORCE_SCAN_MATCH.store(false, Ordering::Relaxed);
+    FORCE_ROUTE_LOOKUP.store(false, Ordering::Relaxed);
+    FORCE_SCHEDULE_REBUILD.store(false, Ordering::Relaxed);
+    out
+}
+
+/// Indexed matching + interned routes + memoized schedules vs the pinned
+/// reference paths: same campaign bytes. This is the ISSUE 9 equivalence
+/// guarantee — the collective fast paths are pure perf, zero semantics.
+#[test]
+fn collective_campaign_json_identical_with_reference_paths() {
+    let fast = campaign_json(1);
+    let reference = with_reference_paths(|| campaign_json(1));
+    assert_identical(
+        &fast,
+        &reference,
+        "collective fast paths changed campaign output (serial)",
+    );
+}
+
+/// Same pin comparison under `--jobs 4`: the worker pool must not let the
+/// process-global schedule cache or the interned route arenas introduce a
+/// scheduling-order dependence.
+#[test]
+fn collective_campaign_json_identical_with_reference_paths_parallel() {
+    let fast = campaign_json(4);
+    let reference = with_reference_paths(|| campaign_json(4));
+    assert_identical(
+        &fast,
+        &reference,
+        "collective fast paths changed campaign output (jobs=4)",
+    );
 }
 
 /// The Quick plans cover both acceptance scales: an 8-rank henri sweep and

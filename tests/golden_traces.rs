@@ -37,11 +37,79 @@ fn cluster() -> Cluster {
     )
 }
 
+/// A telemetry counter line: `"{t} C {name} = {value}"` (mid-stream
+/// snapshot) or `"counter {name} = {value}"` (final total).
+fn is_counter_line(line: &str) -> bool {
+    let rest = if let Some(r) = line.strip_prefix("counter ") {
+        r
+    } else {
+        // "{t} C {name} = {value}": timestamp, then the C record marker.
+        let Some((ts, r)) = line.split_once(" C ") else {
+            return false;
+        };
+        if ts.is_empty() || !ts.bytes().all(|b| b.is_ascii_digit()) {
+            return false;
+        }
+        r
+    };
+    match rest.split_once(" = ") {
+        Some((name, value)) => {
+            !name.is_empty()
+                && !value.is_empty()
+                && value.bytes().all(|b| b.is_ascii_digit())
+        }
+        None => false,
+    }
+}
+
+/// Assert `new` differs from `old` only by *added counter lines*: every old
+/// line must survive, in order, and every inserted line must be a counter
+/// line. This is the re-bless contract for a perf-only change — new
+/// observability counters may appear in the journal, but no span, instant,
+/// timing or ordering byte may move.
+fn assert_diff_is_added_counters_only(path: &str, old: &str, new: &str) {
+    let mut new_lines = new.lines();
+    let mut inserted: Vec<&str> = Vec::new();
+    for (i, want) in old.lines().enumerate() {
+        loop {
+            let Some(got) = new_lines.next() else {
+                panic!(
+                    "re-bless of {} dropped fixture line {}: {:?} — \
+                     a perf-only change must keep every existing journal line",
+                    path,
+                    i + 1,
+                    want
+                );
+            };
+            if got == want {
+                break;
+            }
+            inserted.push(got);
+        }
+    }
+    inserted.extend(new_lines);
+    for line in inserted {
+        assert!(
+            is_counter_line(line),
+            "re-bless of {} inserts a non-counter line {:?} — \
+             only added counter lines are an acceptable perf-change diff",
+            path,
+            line
+        );
+    }
+}
+
 /// Diff `text` against `tests/golden/<name>.txt`, or rewrite the fixture
-/// when `GOLDEN_BLESS=1` is set.
+/// when `GOLDEN_BLESS=1` is set. A re-bless over an existing fixture is
+/// itself checked: the only acceptable diff is added counter lines.
 fn assert_golden(name: &str, text: &str) {
     let path = format!("{}/tests/golden/{}.txt", env!("CARGO_MANIFEST_DIR"), name);
     if std::env::var_os("GOLDEN_BLESS").is_some_and(|v| v == "1") {
+        if let Ok(old) = std::fs::read_to_string(&path) {
+            if std::env::var_os("GOLDEN_BLESS_FORCE").is_none() {
+                assert_diff_is_added_counters_only(&path, &old, text);
+            }
+        }
         std::fs::write(&path, text).expect("bless golden fixture");
         return;
     }
