@@ -1,0 +1,60 @@
+//! Micro-benchmarks of the interference predictor: harvesting one
+//! training pair end to end (three-step protocol + counter extraction),
+//! training the two-model advisor on a preset's grid slice, and the
+//! per-query prediction cost a placement advisor would pay online.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use interference::campaign::{run_outcomes_with_store, CampaignOptions};
+use interference::experiments::harvest::{self, Family, Harvest, PairSpec};
+use interference::experiments::Fidelity;
+use predict::advisor::{default_params, Advisor};
+use topology::presets::Preset;
+
+fn henri_pairs() -> Vec<harvest::TrainingPair> {
+    let exp = Harvest {
+        filter: Some(|s: &PairSpec| s.preset == Preset::Henri),
+    };
+    let mut opts = CampaignOptions::serial(Fidelity::Quick);
+    opts.jobs = 4;
+    harvest::collect_pairs(&run_outcomes_with_store(&exp, &opts, None))
+}
+
+/// One grid point measured from scratch: comm-alone, compute-alone and
+/// together simulations plus feature assembly. This is the unit cost a
+/// Full-fidelity harvest pays per pair (modulo alone-step memoization).
+fn bench_measure_pair(c: &mut Criterion) {
+    let spec = PairSpec {
+        preset: Preset::Henri,
+        placement: 0,
+        family: Family::Stream,
+        cores: 6,
+        metric: interference::experiments::contention::Metric::Bandwidth,
+    };
+    c.bench_function("predict_measure_pair_quick", |b| {
+        b.iter(|| harvest::measure_pair_direct(&spec, Fidelity::Quick))
+    });
+}
+
+/// Advisor training on one preset's 80 Quick pairs: ridge solve plus 200
+/// boosting rounds for each of the two models.
+fn bench_train(c: &mut Criterion) {
+    let pairs = henri_pairs();
+    let params = default_params();
+    c.bench_function("predict_train_advisor_80_pairs", |b| {
+        b.iter(|| Advisor::train(&pairs, &params))
+    });
+}
+
+/// Online prediction: feature engineering plus two model evaluations. This
+/// is what `repro rank-placements` pays per candidate placement.
+fn bench_predict(c: &mut Criterion) {
+    let pairs = henri_pairs();
+    let advisor = Advisor::train(&pairs, &default_params());
+    let features = pairs[0].features.clone();
+    c.bench_function("predict_query", |b| {
+        b.iter(|| advisor.predict_combined(&features))
+    });
+}
+
+criterion_group!(benches, bench_measure_pair, bench_train, bench_predict);
+criterion_main!(benches);

@@ -48,6 +48,29 @@
 //! partial (any failed or timed-out point, or a finalizer that could not
 //! produce its figures) exits 3 unless `--allow-partial` is passed.
 //!
+//! `--validate` also runs the prediction-accuracy campaign (cross-validated
+//! counter→slowdown error and held-out placement ranking gated against
+//! `PREDICT_baseline.json`); `--predict-check` runs only that campaign —
+//! the dedicated CI predict job's entry point.
+//!
+//! Two subcommands query the placement advisor directly (see
+//! EXPERIMENTS.md):
+//!
+//! ```text
+//! repro predict         --preset NAME --workload FAM --cores N --placement I
+//!                       --metric bw|lat [--quick] [--jobs N]
+//!                       [--store DIR [--resume]] [--ground-truth]
+//! repro rank-placements --preset NAME --workload FAM --cores N
+//!                       --metric bw|lat [--quick] [--jobs N]
+//!                       [--store DIR [--resume]] [--ground-truth]
+//! ```
+//!
+//! Both harvest the training grid (excluding every pair that co-ran the
+//! queried workload family on the queried machine — the query is genuinely
+//! unseen), train the advisor, and predict from the query's *alone* steps
+//! only; the together step never executes unless `--ground-truth` asks for
+//! the reference measurement.
+//!
 //! Exit codes: 0 success, 1 failed qualitative checks, 2 usage error,
 //! 3 partial campaign without `--allow-partial`.
 
@@ -66,7 +89,13 @@ fn usage() -> ! {
          \x20            [--trace FILE] [--fuzz-budget N]\n\
          \x20            [--store DIR [--resume]] [--timeout SECS] [--allow-partial]\n\
          \x20            [--list | --all | --fig N | --table 1 | --ext | --validate\n\
-         \x20             | --only NAME[,NAME]]"
+         \x20             | --predict-check | --only NAME[,NAME]]\n\
+         \x20      repro predict         --preset NAME --workload FAM --cores N\n\
+         \x20            --placement I --metric bw|lat [--quick] [--jobs N]\n\
+         \x20            [--store DIR [--resume]] [--ground-truth]\n\
+         \x20      repro rank-placements --preset NAME --workload FAM --cores N\n\
+         \x20            --metric bw|lat [--quick] [--jobs N]\n\
+         \x20            [--store DIR [--resume]] [--ground-truth]"
     );
     std::process::exit(2);
 }
@@ -82,6 +111,11 @@ fn export(path: &str, bytes: &[u8], what: &str) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("predict") => return predict_cli(&args[1..], true),
+        Some("rank-placements") => return predict_cli(&args[1..], false),
+        _ => {}
+    }
     let mut fidelity = Fidelity::Full;
     let mut jobs = 1usize;
     let mut csv_dir: Option<String> = None;
@@ -142,6 +176,7 @@ fn main() {
             "--all" => select = None,
             "--ext" => select = Some("ext".into()),
             "--validate" => select = Some("validate".into()),
+            "--predict-check" => select = Some("predict-check".into()),
             "--fuzz-budget" => {
                 i += 1;
                 let n: usize = args
@@ -304,7 +339,11 @@ fn selected_experiments(select: Option<&str>, only: &[String]) -> Vec<&'static d
     match select {
         None => experiments::PAPER_EXPERIMENTS.to_vec(),
         Some("ext") => experiments::EXTENSION_EXPERIMENTS.to_vec(),
-        Some("validate") => vec![experiments::VALIDATION_EXPERIMENT],
+        Some("validate") => vec![
+            experiments::VALIDATION_EXPERIMENT,
+            predict::accuracy::ACCURACY_EXPERIMENT,
+        ],
+        Some("predict-check") => vec![predict::accuracy::ACCURACY_EXPERIMENT],
         Some(name) => match experiments::find(name) {
             Some(e) => vec![e],
             None => {
@@ -312,6 +351,280 @@ fn selected_experiments(select: Option<&str>, only: &[String]) -> Vec<&'static d
                 usage();
             }
         },
+    }
+}
+
+/// `repro predict` / `repro rank-placements`: train the placement advisor
+/// on harvested pairs that exclude the queried (preset, workload family)
+/// — the query is a pair the model has never seen co-run — then predict
+/// from the query's alone steps only.
+fn predict_cli(args: &[String], single_placement: bool) {
+    use interference::experiments::harvest::{self, Family, PairSpec};
+    use predict::advisor::{default_params, Advisor};
+    use topology::presets::Preset;
+
+    let mut fidelity = Fidelity::Full;
+    let mut jobs = 1usize;
+    let mut store_dir: Option<String> = None;
+    let mut resume = false;
+    let mut ground_truth = false;
+    let mut preset: Option<Preset> = None;
+    let mut family: Option<Family> = None;
+    let mut cores: Option<u32> = None;
+    let mut placement = 0usize;
+    let mut placement_given = false;
+    let mut metric: Option<interference::experiments::contention::Metric> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => fidelity = Fidelity::Quick,
+            "--jobs" => {
+                i += 1;
+                jobs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            "--store" => {
+                i += 1;
+                store_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--resume" => resume = true,
+            "--ground-truth" => ground_truth = true,
+            "--preset" => {
+                i += 1;
+                let name = args.get(i).cloned().unwrap_or_else(|| usage());
+                preset = Preset::clusters()
+                    .into_iter()
+                    .find(|p| p.spec().name == name);
+                if preset.is_none() {
+                    eprintln!(
+                        "unknown preset: {} (expected one of {})",
+                        name,
+                        Preset::clusters()
+                            .map(|p| p.spec().name)
+                            .join(", ")
+                    );
+                    usage();
+                }
+            }
+            "--workload" => {
+                i += 1;
+                let tag = args.get(i).cloned().unwrap_or_else(|| usage());
+                family = Family::from_tag(&tag);
+                if family.is_none() {
+                    eprintln!(
+                        "unknown workload family: {} (expected one of {})",
+                        tag,
+                        Family::all().map(|f| f.tag()).join(", ")
+                    );
+                    usage();
+                }
+            }
+            "--cores" => {
+                i += 1;
+                cores = args.get(i).and_then(|s| s.parse().ok());
+                if cores.is_none() {
+                    usage();
+                }
+            }
+            "--placement" => {
+                i += 1;
+                placement = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&p| p < topology::Placement::all_combinations().len())
+                    .unwrap_or_else(|| usage());
+                placement_given = true;
+            }
+            "--metric" => {
+                i += 1;
+                metric = match args.get(i).map(String::as_str) {
+                    Some("bw") => Some(interference::experiments::contention::Metric::Bandwidth),
+                    Some("lat") => Some(interference::experiments::contention::Metric::Latency),
+                    _ => usage(),
+                };
+            }
+            other => {
+                eprintln!("unknown argument: {}", other);
+                usage();
+            }
+        }
+        i += 1;
+    }
+    let (Some(preset), Some(family), Some(cores), Some(metric)) =
+        (preset, family, cores, metric)
+    else {
+        eprintln!("--preset, --workload, --cores and --metric are required");
+        usage();
+    };
+    if single_placement && !placement_given {
+        eprintln!("repro predict requires --placement I (0..{})", topology::Placement::all_combinations().len());
+        usage();
+    }
+    if resume && store_dir.is_none() {
+        eprintln!("--resume requires --store DIR");
+        usage();
+    }
+    let query = PairSpec {
+        preset,
+        placement,
+        family,
+        cores,
+        metric,
+    };
+
+    // Harvest the training grid, minus every pair that co-ran the queried
+    // family on the queried machine.
+    let store = store_dir.as_ref().map(|dir| {
+        ResultStore::open(dir).unwrap_or_else(|e| {
+            eprintln!("error: cannot open result store {}: {}", dir, e);
+            std::process::exit(1);
+        })
+    });
+    let opts = CampaignOptions::new(fidelity, jobs);
+    let ctx = store.as_ref().map(|s| StoreCtx { store: s, resume });
+    let t0 = Instant::now();
+    let outcomes = interference::campaign::run_outcomes_with_store(
+        experiments::HARVEST_EXPERIMENT,
+        &opts,
+        ctx,
+    );
+    let all_pairs = harvest::collect_pairs(&outcomes);
+    let harvest_wall = t0.elapsed();
+    let params = default_params();
+    let Some(advisor) = Advisor::train_excluding(&all_pairs, &params, |s| {
+        !(s.preset == preset && s.family == family)
+    }) else {
+        eprintln!("error: harvest produced no training pairs");
+        std::process::exit(1);
+    };
+    let trained = all_pairs
+        .iter()
+        .filter(|p| !(p.spec.preset == preset && p.spec.family == family))
+        .count();
+    println!(
+        "advisor: trained on {} pair(s) in {:.2} s (held out {}:{}; harvest {:?} fidelity)",
+        trained,
+        t0.elapsed().as_secs_f64(),
+        preset.spec().name,
+        family.tag(),
+        fidelity
+    );
+    println!(
+        "   harvest {:.2} s, {} point(s){}",
+        harvest_wall.as_secs_f64(),
+        outcomes.len(),
+        match outcomes.iter().filter(|o| o.restored).count() {
+            0 => String::new(),
+            n => format!(" ({} restored from store)", n),
+        }
+    );
+    println!();
+
+    if single_placement {
+        let (comm, compute) = advisor.predict_spec(&query, fidelity).unwrap_or_else(|e| {
+            eprintln!("error: prediction failed: {}", e);
+            std::process::exit(1);
+        });
+        println!("query: {}", query.label());
+        println!(
+            "   predicted co-location penalty: comm {:.3}x, compute {:.3}x, combined {:.3}x",
+            comm,
+            compute,
+            comm * compute
+        );
+        println!("   (predicted from the alone steps only; the together step never ran)");
+        if ground_truth {
+            let gt = harvest::measure_pair_direct(&query, fidelity).unwrap_or_else(|e| {
+                eprintln!("error: ground-truth measurement failed: {}", e);
+                std::process::exit(1);
+            });
+            let err = |p: f64, t: f64| (p - t).abs() / t * 100.0;
+            println!(
+                "   ground truth:                  comm {:.3}x, compute {:.3}x, combined {:.3}x",
+                gt.comm_penalty,
+                gt.compute_penalty,
+                gt.comm_penalty * gt.compute_penalty
+            );
+            println!(
+                "   absolute relative error:       comm {:.1}%, compute {:.1}%, combined {:.1}%",
+                err(comm, gt.comm_penalty),
+                err(compute, gt.compute_penalty),
+                err(comm * compute, gt.comm_penalty * gt.compute_penalty)
+            );
+        }
+        return;
+    }
+
+    let ranked = advisor.rank_placements(&query, fidelity).unwrap_or_else(|e| {
+        eprintln!("error: ranking failed: {}", e);
+        std::process::exit(1);
+    });
+    println!(
+        "rank-placements: {}:{} c{} {} — {} candidates, best first",
+        preset.spec().name,
+        family.tag(),
+        cores,
+        metric.tag(),
+        ranked.len()
+    );
+    let truths: Vec<Option<harvest::TrainingPair>> = if ground_truth {
+        ranked
+            .iter()
+            .map(|r| {
+                harvest::measure_pair_direct(
+                    &PairSpec {
+                        placement: r.placement,
+                        ..query
+                    },
+                    fidelity,
+                )
+                .ok()
+            })
+            .collect()
+    } else {
+        vec![None; ranked.len()]
+    };
+    for (rank, (r, truth)) in ranked.iter().zip(&truths).enumerate() {
+        print!(
+            "   #{} placement {} ({:<22}) predicted comm {:.3}x compute {:.3}x combined {:.3}x",
+            rank + 1,
+            r.placement,
+            r.label,
+            r.comm,
+            r.compute,
+            r.combined
+        );
+        match truth {
+            Some(t) => println!(
+                "   truth {:.3}x",
+                t.comm_penalty * t.compute_penalty
+            ),
+            None => println!(),
+        }
+    }
+    if ground_truth {
+        let pairs: Vec<(f64, f64)> = ranked
+            .iter()
+            .zip(&truths)
+            .filter_map(|(r, t)| {
+                t.as_ref()
+                    .map(|t| (r.combined, t.comm_penalty * t.compute_penalty))
+            })
+            .collect();
+        if pairs.len() == ranked.len() {
+            let best_true = pairs
+                .iter()
+                .map(|(_, t)| *t)
+                .fold(f64::MAX, f64::min);
+            let picked_true = pairs[0].1;
+            println!(
+                "   predicted-best regret vs ground-truth best: {:.1}%",
+                (picked_true / best_true - 1.0) * 100.0
+            );
+        }
     }
 }
 

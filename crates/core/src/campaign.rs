@@ -857,6 +857,47 @@ pub fn run_set_with_store(
     (runs, report)
 }
 
+/// Execute one experiment's sweep points on `opts.jobs` worker threads and
+/// return the raw outcomes in plan order, without the figure assembly —
+/// for callers that consume point *values* rather than figures (the
+/// prediction subsystem harvests training pairs this way). Honours the
+/// result store exactly like [`run_set_with_store`]: completed points are
+/// persisted as they finish and, with [`StoreCtx::resume`], restored
+/// instead of recomputed. Outcome order depends only on the plan, never on
+/// worker scheduling.
+pub fn run_outcomes_with_store(
+    exp: &dyn Experiment,
+    opts: &CampaignOptions,
+    store: Option<StoreCtx<'_>>,
+) -> Vec<PointOutcome> {
+    let cache = BaselineCache::new();
+    let plan = exp.plan(opts.fidelity);
+    let results: Vec<Mutex<Option<PointOutcome>>> =
+        (0..plan.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = opts.jobs.clamp(1, plan.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                if t >= plan.len() {
+                    break;
+                }
+                let outcome = execute_point(exp, &plan[t], opts, &cache, store.as_ref());
+                *results[t].lock().expect("result slot poisoned") = Some(outcome);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every queued point executes")
+        })
+        .collect()
+}
+
 /// Run a single experiment (its own cache, no cross-experiment sharing).
 pub fn run_experiment(exp: &dyn Experiment, opts: &CampaignOptions) -> ExperimentRun {
     run_set(&[exp], opts)
@@ -1216,7 +1257,7 @@ mod tests {
         assert_eq!(r.unwrap_err(), "transient");
         // The error was not cached: the next requester computes afresh.
         let v = cache
-            .get_or_compute_result("k", |seed| Ok(seed))
+            .get_or_compute_result("k", Ok)
             .expect("retry succeeds");
         assert_eq!(*v, baseline_seed("k"));
         // …and the success IS memoized.

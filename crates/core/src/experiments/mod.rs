@@ -30,6 +30,7 @@ pub mod fig9_polling;
 pub mod faulted_pingpong;
 pub mod overlap;
 pub mod fig10_usecases;
+pub mod harvest;
 pub mod table1;
 pub mod validation;
 
@@ -150,6 +151,11 @@ pub fn find(name: &str) -> Option<&'static dyn Experiment> {
 /// the registries: `--all` reproduces the paper, validation interrogates
 /// the simulator itself (see [`validation`]).
 pub static VALIDATION_EXPERIMENT: &dyn Experiment = &validation::Validate;
+
+/// The predictor's training-pair harvest (`repro predict` pipelines).
+/// Outside the registries for the same reason as validation: it feeds the
+/// placement advisor rather than reproducing a paper figure.
+pub static HARVEST_EXPERIMENT: &dyn Experiment = &harvest::Harvest { filter: None };
 
 /// Run every figure driver on henri at the given fidelity. Used by the
 /// repro binary's `--all` mode and by the end-to-end integration test.

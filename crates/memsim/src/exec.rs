@@ -18,7 +18,7 @@
 //! counter of the paper's Figure 10.
 
 use freq::{Activity, FreqModel, License};
-use simcore::{kind_index, split_kind_index, tag, tags, Engine, FlowId, FlowSpec, SimTime};
+use simcore::{kind_index, split_kind_index, tag, tags, telemetry, Engine, FlowId, FlowSpec, SimTime};
 use topology::{CoreId, NumaId};
 
 use crate::{MemSystem, Requester};
@@ -105,6 +105,16 @@ impl JobStats {
     }
 }
 
+/// PMU-style telemetry counter name for a phase's instruction license
+/// (the simulated analogue of per-license cycle residency counters).
+fn license_counter(license: License) -> &'static str {
+    match license {
+        License::Normal => "freq.license.normal",
+        License::Avx2 => "freq.license.avx2",
+        License::Avx512 => "freq.license.avx512",
+    }
+}
+
 /// Handle to a running job.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct JobId(u32);
@@ -181,6 +191,7 @@ impl Executor {
             flow: None,
         }));
         if freqs.set_activity(core, Activity::Heavy(license)) {
+            telemetry::counter_add("freq.transitions", 1);
             mem.apply_freqs(engine, freqs);
             self.refresh_caps(engine, mem, freqs);
             freqs.record(engine.now());
@@ -214,6 +225,14 @@ impl Executor {
         let job = self.jobs[id.0 as usize].as_mut().expect("live job");
         let phase = &job.spec.phases[job.phase];
         let core = job.spec.core;
+        // PMU-style phase counters: per-license residency (phase launches)
+        // and memory-channel pressure (bytes put on the memory path). Both
+        // are pure functions of the simulated work, so they are safe in the
+        // deterministic journal.
+        telemetry::counter_add(license_counter(phase.license), 1);
+        if phase.bytes >= 1.0 {
+            telemetry::counter_add("mem.channel.bytes", phase.bytes as u64);
+        }
         if phase.bytes > 0.0 {
             let cap = Self::phase_cap(mem, freqs, core, phase);
             let flow = engine.start_flow(FlowSpec {
@@ -274,6 +293,12 @@ impl Executor {
             // Accumulate phase results.
             if let simcore::Event::Flow { report, .. } = event {
                 job.stats.stalled_s += report.stalled;
+                // Memory-stall residency in integer picoseconds (counters
+                // are integers; ps keeps sub-microsecond stalls visible).
+                let ps = (report.stalled * 1e12).round() as u64;
+                if ps > 0 {
+                    telemetry::counter_add("mem.stall_ps", ps);
+                }
             }
             let phase = &job.spec.phases[job.phase];
             job.stats.bytes += phase.bytes;
@@ -290,6 +315,7 @@ impl Executor {
                     st.finished = engine.now();
                     let core = st.core;
                     if freqs.set_activity(core, Activity::Idle) {
+                        telemetry::counter_add("freq.transitions", 1);
                         mem.apply_freqs(engine, freqs);
                         self.refresh_caps(engine, mem, freqs);
                         freqs.record(engine.now());
@@ -335,6 +361,7 @@ impl Executor {
         }
         job.stats.finished = engine.now();
         if freqs.set_activity(job.spec.core, Activity::Idle) {
+            telemetry::counter_add("freq.transitions", 1);
             mem.apply_freqs(engine, freqs);
             self.refresh_caps(engine, mem, freqs);
             freqs.record(engine.now());

@@ -657,6 +657,7 @@ impl NetSim {
             Step::EagerWire => {
                 // PIO copy: payload crosses sender memory path, NIC, wire,
                 // receiver NIC and receiver memory, paced by the CPU copy.
+                telemetry::counter_add("net.pio.bytes", (size as u64).max(1));
                 let f = sender.freqs.core_freq(sender.comm_core);
                 let cap = PIO_BYTES_PER_CYCLE * f * 1e9;
                 let mut path = sender.mem.path(Requester::Core(sender.comm_core), data_numa);
@@ -719,6 +720,7 @@ impl NetSim {
                 // DMA: the NIC pulls from sender memory and pushes into
                 // receiver memory; the weight reflects the NIC's
                 // outstanding-request aggressiveness.
+                telemetry::counter_add("net.dma.bytes", size as u64);
                 let mut path = sender.mem.path(Requester::Nic, data_numa);
                 self.push_wire(&mut path, from, to);
                 path.extend(receiver.mem.path(Requester::Nic, dest_numa));

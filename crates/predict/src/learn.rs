@@ -1,0 +1,559 @@
+//! The deterministic counter→slowdown learner.
+//!
+//! Two stacked stages, both free of floating-point-order nondeterminism
+//! (every sum reduces in fixed index order; no threading, no hashing):
+//!
+//! 1. **Ridge regression** on standardized features of log-slowdowns —
+//!    solved exactly from the Gram matrix by Gaussian elimination with
+//!    partial pivoting. The closed-form solution is invariant (to
+//!    round-off) under feature permutation, which a property test pins.
+//! 2. A **boosted fixed-depth decision-stump ensemble** on the ridge
+//!    residuals — gradient boosting with a fixed shrinkage, each round
+//!    picking the (feature, threshold) split minimizing squared error,
+//!    ties broken toward the lowest feature id then lowest threshold so
+//!    training is reproducible bit-for-bit. Features listed in
+//!    `monotone_up` only admit splits whose right (greater) branch
+//!    predicts ≥ the left branch, making the learned response monotone in
+//!    those coordinates by construction.
+//!
+//! Targets are `ln(penalty)` — slowdowns are ratios, so errors compose
+//! multiplicatively — and predictions return through `exp`. The integer
+//! seed only drives the k-fold shuffle (SplitMix64 Fisher–Yates); training
+//! itself is seed-free and therefore bit-identical for identical pairs in
+//! identical order.
+
+use interference::codec::{Dec, Enc};
+
+/// One decision stump: `x[feature] >= threshold ? right : left`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stump {
+    /// Feature index the stump splits on.
+    pub feature: u32,
+    /// Split threshold (standardized feature space).
+    pub threshold: f64,
+    /// Prediction for `x < threshold`.
+    pub left: f64,
+    /// Prediction for `x >= threshold`.
+    pub right: f64,
+}
+
+/// A trained counter→slowdown model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Model {
+    /// Feature dimension.
+    pub dim: usize,
+    /// Per-feature standardization mean.
+    pub mean: Vec<f64>,
+    /// Per-feature standardization scale (1 for constant features).
+    pub scale: Vec<f64>,
+    /// Target (log-slowdown) mean, added back at prediction.
+    pub y_mean: f64,
+    /// Ridge weights over standardized features.
+    pub weights: Vec<f64>,
+    /// Boosted stump ensemble over standardized features.
+    pub stumps: Vec<Stump>,
+    /// Boosting shrinkage applied to every stump's contribution.
+    pub shrink: f64,
+}
+
+/// Training hyper-parameters. [`Params::default`] is what every in-repo
+/// caller uses; the fields are public for the property tests.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Ridge penalty λ on standardized features.
+    pub lambda: f64,
+    /// Boosting rounds (stump count upper bound).
+    pub rounds: usize,
+    /// Boosting shrinkage.
+    pub shrink: f64,
+    /// Candidate split quantiles per feature and round.
+    pub cuts: usize,
+    /// Feature indices whose learned response must be non-decreasing.
+    pub monotone_up: Vec<usize>,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            lambda: 1.0,
+            rounds: 200,
+            shrink: 0.1,
+            cuts: 16,
+            monotone_up: Vec::new(),
+        }
+    }
+}
+
+fn standardize(features: &[Vec<f64>], dim: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = features.len() as f64;
+    let mut mean = vec![0.0; dim];
+    for x in features {
+        for (m, v) in mean.iter_mut().zip(x) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= n;
+    }
+    let mut var = vec![0.0; dim];
+    for x in features {
+        for j in 0..dim {
+            let d = x[j] - mean[j];
+            var[j] += d * d;
+        }
+    }
+    let scale = var
+        .iter()
+        .map(|v| {
+            let s = (v / n).sqrt();
+            if s > 0.0 {
+                s
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    (mean, scale)
+}
+
+/// Solve `A w = b` for symmetric positive-definite `A` by Gaussian
+/// elimination with partial pivoting. `A` is consumed as a row-major
+/// square matrix.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty column");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let p = a[col][col];
+        if p == 0.0 {
+            continue;
+        }
+        for row in (col + 1)..n {
+            let f = a[row][col] / p;
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut w = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..n {
+            acc -= a[col][k] * w[k];
+        }
+        w[col] = if a[col][col] != 0.0 { acc / a[col][col] } else { 0.0 };
+    }
+    w
+}
+
+fn fit_stump(
+    xs: &[Vec<f64>],
+    residual: &[f64],
+    params: &Params,
+) -> Option<(Stump, f64)> {
+    let n = xs.len();
+    let dim = xs.first()?.len();
+    let total: f64 = residual.iter().sum();
+    let mut best: Option<(Stump, f64)> = None;
+    for feature in 0..dim {
+        let mut vals: Vec<f64> = xs.iter().map(|x| x[feature]).collect();
+        vals.sort_by(f64::total_cmp);
+        let monotone = params.monotone_up.contains(&feature);
+        for c in 1..=params.cuts {
+            // Candidate thresholds at fixed interior quantiles of the
+            // feature's empirical distribution.
+            let pos = c * (n - 1) / (params.cuts + 1);
+            let threshold = vals[pos.min(n - 1)];
+            let mut right_sum = 0.0;
+            let mut right_n = 0usize;
+            for (x, r) in xs.iter().zip(residual) {
+                if x[feature] >= threshold {
+                    right_sum += r;
+                    right_n += 1;
+                }
+            }
+            let left_n = n - right_n;
+            if right_n == 0 || left_n == 0 {
+                continue;
+            }
+            let left_sum = total - right_sum;
+            let left = left_sum / left_n as f64;
+            let right = right_sum / right_n as f64;
+            if monotone && right < left {
+                // Pool the branches: the isotonic projection of a
+                // two-piece violation is the common mean, i.e. no split —
+                // worthless, so skip.
+                continue;
+            }
+            // Squared-error reduction of the split.
+            let gain = left * left_sum + right * right_sum;
+            // Deterministic tie-breaks: strictly greater gain wins;
+            // equal-gain candidates resolve to the earliest feature and
+            // lowest threshold by iteration order.
+            let better = match &best {
+                None => gain > 1e-12,
+                Some((_, g)) => gain > *g + 1e-12,
+            };
+            if better {
+                // Shrinkage applies at prediction; store raw branch means.
+                best = Some((
+                    Stump {
+                        feature: feature as u32,
+                        threshold,
+                        left,
+                        right,
+                    },
+                    gain,
+                ));
+            }
+        }
+    }
+    best
+}
+
+/// Train a model on (features, log-target) pairs. `targets` are the raw
+/// slowdown penalties (> 0); the learner works on their logarithms.
+pub fn train(features: &[Vec<f64>], targets: &[f64], params: &Params) -> Model {
+    assert_eq!(features.len(), targets.len());
+    assert!(!features.is_empty(), "training set must be non-empty");
+    let dim = features[0].len();
+    let (mean, scale) = standardize(features, dim);
+    let xs: Vec<Vec<f64>> = features
+        .iter()
+        .map(|x| {
+            x.iter()
+                .enumerate()
+                .map(|(j, v)| (v - mean[j]) / scale[j])
+                .collect()
+        })
+        .collect();
+    let ys: Vec<f64> = targets.iter().map(|t| t.max(1e-9).ln()).collect();
+    let y_mean = ys.iter().sum::<f64>() / ys.len() as f64;
+    let yc: Vec<f64> = ys.iter().map(|y| y - y_mean).collect();
+
+    // Gram matrix + ridge diagonal, accumulated in fixed (i, j, row) order.
+    let mut gram = vec![vec![0.0; dim]; dim];
+    let mut xty = vec![0.0; dim];
+    for (x, y) in xs.iter().zip(&yc) {
+        for i in 0..dim {
+            for j in i..dim {
+                gram[i][j] += x[i] * x[j];
+            }
+            xty[i] += x[i] * y;
+        }
+    }
+    for i in 0..dim {
+        for j in 0..i {
+            gram[i][j] = gram[j][i];
+        }
+        gram[i][i] += params.lambda;
+    }
+    let weights = solve(gram, xty);
+
+    // Boost stumps on the ridge residuals.
+    let mut residual: Vec<f64> = xs
+        .iter()
+        .zip(&yc)
+        .map(|(x, y)| {
+            let mut lin = 0.0;
+            for (w, v) in weights.iter().zip(x) {
+                lin += w * v;
+            }
+            y - lin
+        })
+        .collect();
+    let mut stumps = Vec::new();
+    for _ in 0..params.rounds {
+        let Some((stump, _)) = fit_stump(&xs, &residual, params) else {
+            break;
+        };
+        for (x, r) in xs.iter().zip(&mut residual) {
+            let p = if x[stump.feature as usize] >= stump.threshold {
+                stump.right
+            } else {
+                stump.left
+            };
+            *r -= params.shrink * p;
+        }
+        stumps.push(stump);
+    }
+    Model {
+        dim,
+        mean,
+        scale,
+        y_mean,
+        weights,
+        stumps,
+        shrink: params.shrink,
+    }
+}
+
+impl Model {
+    /// Predicted slowdown penalty for a feature vector.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.dim, "feature dimension mismatch");
+        let x: Vec<f64> = features
+            .iter()
+            .enumerate()
+            .map(|(j, v)| (v - self.mean[j]) / self.scale[j])
+            .collect();
+        let mut y = self.y_mean;
+        for (w, v) in self.weights.iter().zip(&x) {
+            y += w * v;
+        }
+        for s in &self.stumps {
+            y += self.shrink
+                * if x[s.feature as usize] >= s.threshold {
+                    s.right
+                } else {
+                    s.left
+                };
+        }
+        y.exp()
+    }
+
+    /// Exact-bits serialization (the "model file" byte surface the
+    /// determinism gate compares).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u32(self.dim as u32)
+            .f64s(&self.mean)
+            .f64s(&self.scale)
+            .f64(self.y_mean)
+            .f64s(&self.weights)
+            .f64(self.shrink)
+            .u32(self.stumps.len() as u32);
+        for s in &self.stumps {
+            e.u32(s.feature).f64(s.threshold).f64(s.left).f64(s.right);
+        }
+        e.into_bytes()
+    }
+
+    /// Inverse of [`Model::encode`]; `None` on any malformation.
+    pub fn decode(bytes: &[u8]) -> Option<Model> {
+        let mut d = Dec::new(bytes);
+        let dim = d.u32()? as usize;
+        let mean = d.f64s()?;
+        let scale = d.f64s()?;
+        let y_mean = d.f64()?;
+        let weights = d.f64s()?;
+        let shrink = d.f64()?;
+        let n = d.u32()? as usize;
+        let mut stumps = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            stumps.push(Stump {
+                feature: d.u32()?,
+                threshold: d.f64()?,
+                left: d.f64()?,
+                right: d.f64()?,
+            });
+        }
+        if mean.len() != dim || scale.len() != dim || weights.len() != dim {
+            return None;
+        }
+        d.finish(Model {
+            dim,
+            mean,
+            scale,
+            y_mean,
+            weights,
+            stumps,
+            shrink,
+        })
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic Fisher–Yates shuffle of `0..n` from an integer seed.
+pub fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed ^ 0x5eed_0f12_ab34_cd56;
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Partition `0..n` into `k` folds after a seeded shuffle. Every index
+/// appears in exactly one fold; folds differ in size by at most one.
+pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    let k = k.clamp(2, n.max(2));
+    let order = shuffled_indices(n, seed);
+    (0..k)
+        .map(|fold| order.iter().copied().skip(fold).step_by(k).collect())
+        .collect()
+}
+
+/// Held-out error report of one cross-validation run.
+#[derive(Clone, Debug)]
+pub struct CvReport {
+    /// Absolute relative errors of every held-out prediction, fold order.
+    pub errors: Vec<f64>,
+    /// Mean absolute relative error.
+    pub mean: f64,
+    /// Median absolute relative error.
+    pub median: f64,
+}
+
+/// K-fold cross-validation: shuffle with the seed, hold each fold out,
+/// train on the rest, score `|pred - truth| / truth` on the held-out
+/// pairs. Deterministic per (pairs, seed, k).
+pub fn cross_validate(
+    features: &[Vec<f64>],
+    targets: &[f64],
+    params: &Params,
+    k: usize,
+    seed: u64,
+) -> CvReport {
+    let n = features.len();
+    let mut errors = Vec::with_capacity(n);
+    for held in kfold(n, k, seed) {
+        if held.is_empty() {
+            continue;
+        }
+        let held_set: Vec<bool> = {
+            let mut v = vec![false; n];
+            for &i in &held {
+                v[i] = true;
+            }
+            v
+        };
+        let tf: Vec<Vec<f64>> = (0..n)
+            .filter(|i| !held_set[*i])
+            .map(|i| features[i].clone())
+            .collect();
+        let tt: Vec<f64> = (0..n).filter(|i| !held_set[*i]).map(|i| targets[i]).collect();
+        if tf.is_empty() {
+            continue;
+        }
+        let model = train(&tf, &tt, params);
+        for &i in &held {
+            let truth = targets[i];
+            if truth != 0.0 {
+                errors.push((model.predict(&features[i]) - truth).abs() / truth.abs());
+            }
+        }
+    }
+    let mean = simcheck::stats::mean(&errors);
+    let median = simcheck::stats::median(&errors);
+    CvReport {
+        errors,
+        mean,
+        median,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut state = 7u64;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let a = (splitmix64(&mut state) % 1000) as f64 / 1000.0;
+            let b = (splitmix64(&mut state) % 1000) as f64 / 1000.0;
+            let c = (splitmix64(&mut state) % 1000) as f64 / 1000.0;
+            xs.push(vec![a, b, c]);
+            ys.push((0.8 * a - 0.3 * b + 0.1 * (c > 0.5) as u8 as f64).exp());
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_a_planted_log_linear_model() {
+        let (xs, ys) = synthetic(200);
+        let model = train(&xs, &ys, &Params::default());
+        let rep = cross_validate(&xs, &ys, &Params::default(), 5, 3);
+        assert!(rep.median < 0.05, "median err {}", rep.median);
+        // In-sample predictions track the target closely too.
+        let e: Vec<f64> = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (model.predict(x) - y).abs() / y)
+            .collect();
+        assert!(simcheck::stats::median(&e) < 0.05);
+    }
+
+    #[test]
+    fn training_is_bit_deterministic() {
+        let (xs, ys) = synthetic(120);
+        let a = train(&xs, &ys, &Params::default());
+        let b = train(&xs, &ys, &Params::default());
+        assert_eq!(a.encode(), b.encode());
+        let (p, q) = (a.predict(&xs[7]), b.predict(&xs[7]));
+        assert_eq!(p.to_bits(), q.to_bits());
+    }
+
+    #[test]
+    fn model_codec_roundtrips() {
+        let (xs, ys) = synthetic(60);
+        let m = train(&xs, &ys, &Params::default());
+        assert!(!m.stumps.is_empty());
+        let d = Model::decode(&m.encode()).expect("roundtrip");
+        assert_eq!(d, m);
+        let mut bytes = m.encode();
+        bytes.push(9);
+        assert!(Model::decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn monotone_constraint_holds_structurally() {
+        // Single-bottleneck synthetic pairs: penalty grows with feature 0,
+        // the other features are noise.
+        let mut state = 11u64;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..150 {
+            let pressure = i as f64 / 150.0;
+            let noise = (splitmix64(&mut state) % 1000) as f64 / 1000.0;
+            xs.push(vec![pressure, noise]);
+            ys.push((1.0 + 2.0 * pressure * pressure).max(1.0));
+        }
+        let params = Params {
+            monotone_up: vec![0],
+            ..Params::default()
+        };
+        let model = train(&xs, &ys, &params);
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=40 {
+            let p = model.predict(&[i as f64 / 40.0, 0.5]);
+            assert!(
+                p >= last - 1e-9,
+                "prediction dropped at pressure {}: {} < {}",
+                i,
+                p,
+                last
+            );
+            last = p;
+        }
+    }
+
+    #[test]
+    fn shuffle_is_seeded_and_complete() {
+        let a = shuffled_indices(50, 1);
+        let b = shuffled_indices(50, 1);
+        let c = shuffled_indices(50, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut s = a.clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -29,6 +29,7 @@ pub mod fuzz;
 pub mod metamorphic;
 pub mod oracles;
 pub mod scenario;
+pub mod stats;
 
 /// One validation verdict: a named quantity, its analytically expected
 /// value, the simulated value, and whether the relative error is inside

@@ -1,0 +1,160 @@
+//! Rank-correlation and error statistics for the prediction-accuracy
+//! checks (`repro --validate` gates the counter-driven predictor with
+//! these; see DESIGN.md §16).
+//!
+//! Everything here reduces sums in the input's index order — the
+//! determinism contract of the predict subsystem extends into its
+//! evaluation.
+
+/// Mean of a sample; 0 when empty.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Median of a sample via total-order sort; 0 when empty. Even-length
+/// samples average the two central elements.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut s = xs.to_vec();
+    s.sort_by(f64::total_cmp);
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        0.5 * (s[n / 2 - 1] + s[n / 2])
+    }
+}
+
+/// Population standard deviation; 0 for fewer than two samples.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Absolute relative errors `|pred - truth| / |truth|`, element-wise.
+/// Pairs with `truth == 0` are skipped.
+pub fn abs_rel_errors(pred: &[f64], truth: &[f64]) -> Vec<f64> {
+    pred.iter()
+        .zip(truth)
+        .filter(|(_, t)| **t != 0.0)
+        .map(|(p, t)| ((p - t) / t).abs())
+        .collect()
+}
+
+/// Fractional ranks of a sample: ties share the average of the positions
+/// they span (the standard treatment for rank correlations).
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let r = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = r;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Pearson correlation; 0 when either side is constant or lengths differ.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return 0.0;
+    }
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Spearman rank correlation (Pearson over fractional ranks).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Kendall's tau-a: concordant minus discordant pairs over all pairs.
+pub fn kendall(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len();
+    if n != ys.len() || n < 2 {
+        return 0.0;
+    }
+    let mut num = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = xs[j] - xs[i];
+            let dy = ys[j] - ys[i];
+            let s = (dx * dy).signum();
+            if s > 0.0 {
+                num += 1;
+            } else if s < 0.0 {
+                num -= 1;
+            }
+        }
+    }
+    num as f64 / (n * (n - 1) / 2) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(stddev(&[2.0, 2.0, 2.0]) < 1e-12);
+    }
+
+    #[test]
+    fn rel_errors_skip_zero_truth() {
+        let e = abs_rel_errors(&[1.1, 5.0, 2.0], &[1.0, 0.0, 4.0]);
+        assert_eq!(e.len(), 2);
+        assert!((e[0] - 0.1).abs() < 1e-12);
+        assert!((e[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_correlations() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [10.0, 20.0, 30.0, 40.0];
+        let down = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((spearman(&xs, &down) + 1.0).abs() < 1e-12);
+        assert!((kendall(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((kendall(&xs, &down) + 1.0).abs() < 1e-12);
+        // A monotone but nonlinear map keeps rank correlation at 1.
+        let exp: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+        assert!((spearman(&xs, &exp) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tied_ranks_average() {
+        let r = ranks(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+}

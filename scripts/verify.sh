@@ -31,6 +31,19 @@ echo "==> model validation: oracles, metamorphic invariants, differential fuzz"
 # Exits non-zero if any oracle check fails (repro gates on failed checks).
 cargo run --release -p bench --bin repro -- --quick --validate --fuzz-budget 60 --jobs 2
 
+echo "==> predict: harvest -> train -> cross-validate -> accuracy ratchet"
+# Counter-driven interference predictor (DESIGN.md §16): Quick-fidelity
+# harvest of the full pair grid, cross-validation over three shuffle
+# seeds, leave-one-family-out placement ranking, all gated against
+# PREDICT_baseline.json. Never lower the baseline to make this pass.
+cargo run --release -p bench --bin repro -- --quick --predict-check --jobs 2
+
+echo "==> predict smoke: rank placements for a held-out workload"
+# End-to-end advisor path: train without any bora/cg rows, rank the four
+# placements, and print ground truth + regret next to the prediction.
+cargo run --release -p bench --bin repro -- rank-placements --quick --jobs 2 \
+  --preset bora --workload cg --cores 8 --metric bw --ground-truth
+
 echo "==> allocator bench smoke: incremental vs reference solver"
 cargo bench -p bench --features bench-harness --bench fluid
 

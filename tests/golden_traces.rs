@@ -103,10 +103,23 @@ fn assert_diff_is_added_counters_only(path: &str, old: &str, new: &str) {
 /// when `GOLDEN_BLESS=1` is set. A re-bless over an existing fixture is
 /// itself checked: the only acceptable diff is added counter lines.
 fn assert_golden(name: &str, text: &str) {
+    assert_golden_kind(name, text, true)
+}
+
+/// [`assert_golden`] for non-journal fixtures (the predict feature
+/// matrix): a re-bless may rewrite any line — the counters-only contract
+/// is about journal timelines, and a feature-set change legitimately
+/// changes every row — but still requires the explicit `GOLDEN_BLESS=1`
+/// opt-in and review of the diff.
+fn assert_golden_free(name: &str, text: &str) {
+    assert_golden_kind(name, text, false)
+}
+
+fn assert_golden_kind(name: &str, text: &str, journal: bool) {
     let path = format!("{}/tests/golden/{}.txt", env!("CARGO_MANIFEST_DIR"), name);
     if std::env::var_os("GOLDEN_BLESS").is_some_and(|v| v == "1") {
         if let Ok(old) = std::fs::read_to_string(&path) {
-            if std::env::var_os("GOLDEN_BLESS_FORCE").is_none() {
+            if journal && std::env::var_os("GOLDEN_BLESS_FORCE").is_none() {
                 assert_diff_is_added_counters_only(&path, &old, text);
             }
         }
@@ -336,4 +349,26 @@ fn chrome_export_of_campaign_journal_is_valid() {
             assert!(*ts >= 0.0);
         }
     }
+}
+
+/// The predictor's harvest stage on the fig4 configuration (henri, STREAM
+/// triad, Quick): byte-stable feature-matrix dump. Pins the feature
+/// names, their order, every extracted counter rate and both ground-truth
+/// penalties — any drift in the telemetry counters, the alone-step
+/// protocol or the penalty arithmetic shows up as a readable row diff.
+#[test]
+fn predict_feature_matrix_matches_golden() {
+    use interference::campaign::run_outcomes_with_store;
+    use interference::experiments::harvest::{self, Family, Harvest, PairSpec};
+    use topology::presets::Preset;
+
+    let exp = Harvest {
+        filter: Some(|s: &PairSpec| s.preset == Preset::Henri && s.family == Family::Stream),
+    };
+    let opts = CampaignOptions::serial(Fidelity::Quick);
+    let outcomes = run_outcomes_with_store(&exp, &opts, None);
+    assert!(outcomes.iter().all(|o| o.value.is_some()), "harvest must complete");
+    let pairs = harvest::collect_pairs(&outcomes);
+    assert_eq!(pairs.len(), 16, "4 placements x 2 core counts x 2 metrics");
+    assert_golden_free("predict_feature_matrix", &harvest::feature_matrix_text(&pairs));
 }
